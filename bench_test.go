@@ -1,0 +1,221 @@
+package pacifier
+
+// Benchmark harness regenerating every table and figure of the paper's
+// evaluation (Section 6). Each benchmark prints the same rows/series the
+// paper reports; EXPERIMENTS.md records paper-vs-measured. Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The figure benchmarks iterate once per configuration and report the
+// metric via b.ReportMetric, so -benchtime does not multiply the (large)
+// simulations.
+
+import (
+	"fmt"
+	"testing"
+)
+
+// figureCores are the machine sizes of the evaluation (Section 6.1).
+var figureCores = []int{16, 32, 64}
+
+// benchOps is the per-thread operation count used for the figures.
+const benchOps = 2000
+
+// runFig records one app at one machine size under Karma, Vol and Gra
+// simultaneously (identical execution, as the paper's comparison needs).
+func runFig(b *testing.B, app string, cores int) *Run {
+	b.Helper()
+	w, err := App(app, cores, benchOps, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := Record(w, Options{Seed: 1, Atomic: true}, Karma, Volition, Granule)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return run
+}
+
+// BenchmarkFigure11LogSize regenerates Figure 11: the log-size increase
+// of Vol and Gra over Karma, per application and machine size.
+func BenchmarkFigure11LogSize(b *testing.B) {
+	for _, app := range Apps() {
+		for _, n := range figureCores {
+			b.Run(fmt.Sprintf("%s/p%d", app, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run := runFig(b, app, n)
+					vol, _ := run.LogOverhead(Volition)
+					gra, _ := run.LogOverhead(Granule)
+					b.ReportMetric(vol*100, "vol_log_increase_%")
+					b.ReportMetric(gra*100, "gra_log_increase_%")
+					b.ReportMetric(float64(run.LogStats(Karma).TotalBytes), "karma_bytes")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure12ReplaySpeed regenerates Figure 12: replay slowdown
+// versus native execution for Karma, Vol and Gra.
+func BenchmarkFigure12ReplaySpeed(b *testing.B) {
+	for _, app := range Apps() {
+		for _, n := range figureCores {
+			b.Run(fmt.Sprintf("%s/p%d", app, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run := runFig(b, app, n)
+					for _, m := range []Mode{Karma, Volition, Granule} {
+						res, err := run.Replay(m)
+						if err != nil {
+							b.Fatal(err)
+						}
+						b.ReportMetric(run.Slowdown(res)*100,
+							fmt.Sprintf("%v_slowdown_%%", m))
+						if m == Granule && !res.Deterministic() {
+							b.Fatalf("Granule replay diverged: %d mismatches", res.MismatchCount)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure13LHB regenerates Figure 13: the maximum number of LHB
+// entries occupied (the paper configures 16 and observes at most 7).
+func BenchmarkFigure13LHB(b *testing.B) {
+	for _, app := range Apps() {
+		for _, n := range figureCores {
+			b.Run(fmt.Sprintf("%s/p%d", app, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run := runFig(b, app, n)
+					b.ReportMetric(float64(run.LHBMax(Volition)), "vol_lhb_max")
+					b.ReportMetric(float64(run.LHBMax(Granule)), "gra_lhb_max")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationBoundPolicies regenerates the Table 2 optimization
+// hierarchy: recorded-reordering volume under R-Bound, Move-Bound and
+// PMove-Bound (Granule), with Volition as the floor.
+func BenchmarkAblationBoundPolicies(b *testing.B) {
+	for _, app := range []string{"radiosity", "barnes", "ocean"} {
+		b.Run(app, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := App(app, 16, benchOps, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run, err := Record(w, Options{Seed: 1, Atomic: true},
+					Karma, Volition, Granule, MoveBound, RBound)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, m := range []Mode{Volition, Granule, MoveBound, RBound} {
+					b.ReportMetric(float64(run.LogStats(m).DEntries),
+						fmt.Sprintf("%v_dset", m))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationNonAtomic measures the Section 3.2 machinery: the
+// extra value logs when non-atomic writes are enabled, and that Granule
+// still replays exactly.
+func BenchmarkAblationNonAtomic(b *testing.B) {
+	for _, app := range []string{"radiosity", "radix"} {
+		for _, atomic := range []bool{true, false} {
+			b.Run(fmt.Sprintf("%s/atomic=%v", app, atomic), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					w, err := App(app, 16, benchOps, 1)
+					if err != nil {
+						b.Fatal(err)
+					}
+					run, err := Record(w, Options{Seed: 1, Atomic: atomic}, Karma, Granule)
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := run.Replay(Granule)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.MismatchCount != 0 {
+						b.Fatalf("replay diverged: %d mismatches", res.MismatchCount)
+					}
+					b.ReportMetric(float64(run.LogStats(Granule).VEntries), "value_logs")
+					gra, _ := run.LogOverhead(Granule)
+					b.ReportMetric(gra*100, "gra_log_increase_%")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationChunkSize sweeps the chunk capacity bound, showing the
+// log-size / replay-parallelism trade-off the LHB design rests on.
+func BenchmarkAblationChunkSize(b *testing.B) {
+	for _, cap := range []int64{128, 512, 2048} {
+		b.Run(fmt.Sprintf("cap%d", cap), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				w, err := App("ocean", 16, benchOps, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				run, err := Record(w, Options{Seed: 1, Atomic: true, MaxChunkOps: cap},
+					Karma, Granule)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := run.Replay(Granule)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(run.LogStats(Granule).Chunks), "chunks")
+				b.ReportMetric(run.Slowdown(res)*100, "gra_slowdown_%")
+			}
+		})
+	}
+}
+
+// BenchmarkRecordThroughput measures raw simulation+recording speed
+// (machine ops per second), the practical cost of using the library.
+func BenchmarkRecordThroughput(b *testing.B) {
+	w, err := App("fft", 16, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		run, err := Record(w, Options{Seed: 1, Atomic: true}, Granule)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += run.MemOps()
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "memops/s")
+}
+
+// BenchmarkReplayThroughput measures replay speed in replayed ops/s.
+func BenchmarkReplayThroughput(b *testing.B) {
+	w, err := App("fft", 16, 1000, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run, err := Record(w, Options{Seed: 1, Atomic: true}, Granule)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		res, err := run.Replay(Granule)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ops += res.OpsReplayed
+	}
+	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "memops/s")
+}

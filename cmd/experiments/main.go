@@ -1,0 +1,170 @@
+// Command experiments regenerates the paper's evaluation (Section 6):
+// Figure 11 (log size), Figure 12 (replay speed) and Figure 13 (LHB
+// occupancy), printing one table per figure in the paper's layout.
+//
+// Usage:
+//
+//	experiments            # all figures
+//	experiments -fig 11    # one figure
+//	experiments -ops 4000 -cores 16,32,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pacifier"
+)
+
+type cell struct{ vol, gra, karma float64 }
+
+func main() {
+	var (
+		fig     = flag.Int("fig", 0, "figure to regenerate (11, 12, 13; 0 = all)")
+		ops     = flag.Int("ops", 2000, "memory operations per thread")
+		coreArg = flag.String("cores", "16,32,64", "machine sizes")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var cores []int
+	for _, s := range strings.Split(*coreArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 || n > 64 {
+			fmt.Fprintf(os.Stderr, "bad -cores entry %q\n", s)
+			os.Exit(1)
+		}
+		cores = append(cores, n)
+	}
+
+	apps := pacifier.Apps()
+	// One run per (app, cores): all three figures come from the same
+	// execution, recorded under Karma, Vol and Gra simultaneously.
+	type key struct {
+		app string
+		n   int
+	}
+	runs := map[key]*pacifier.Run{}
+	replays := map[key]map[pacifier.Mode]*pacifier.ReplayResult{}
+	for _, app := range apps {
+		for _, n := range cores {
+			w, err := pacifier.App(app, n, *ops, *seed)
+			if err != nil {
+				panic(err)
+			}
+			fmt.Fprintf(os.Stderr, "running %s on %d cores...\n", app, n)
+			run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: true},
+				pacifier.Karma, pacifier.Volition, pacifier.Granule)
+			if err != nil {
+				panic(err)
+			}
+			k := key{app, n}
+			runs[k] = run
+			replays[k] = map[pacifier.Mode]*pacifier.ReplayResult{}
+			for _, m := range []pacifier.Mode{pacifier.Karma, pacifier.Volition, pacifier.Granule} {
+				res, err := run.Replay(m)
+				if err != nil {
+					panic(err)
+				}
+				replays[k][m] = res
+				if m == pacifier.Granule && !res.Deterministic() {
+					fmt.Fprintf(os.Stderr, "WARNING: %s/%d Granule replay diverged!\n", app, n)
+				}
+			}
+		}
+	}
+
+	header := func(title string) {
+		fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+		fmt.Printf("%-11s", "app")
+		for _, n := range cores {
+			fmt.Printf("  %7s %7s", fmt.Sprintf("vol/p%d", n), fmt.Sprintf("gra/p%d", n))
+		}
+		fmt.Println()
+	}
+
+	if *fig == 0 || *fig == 11 {
+		header("Figure 11: log size increase over Karma (%)")
+		sumV := make([]float64, len(cores))
+		sumG := make([]float64, len(cores))
+		for _, app := range apps {
+			fmt.Printf("%-11s", app)
+			for i, n := range cores {
+				run := runs[key{app, n}]
+				v, _ := run.LogOverhead(pacifier.Volition)
+				g, _ := run.LogOverhead(pacifier.Granule)
+				sumV[i] += v
+				sumG[i] += g
+				fmt.Printf("  %6.1f%% %6.1f%%", v*100, g*100)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-11s", "average")
+		for i := range cores {
+			fmt.Printf("  %6.1f%% %6.1f%%",
+				sumV[i]/float64(len(apps))*100, sumG[i]/float64(len(apps))*100)
+		}
+		fmt.Println()
+	}
+
+	if *fig == 0 || *fig == 12 {
+		title := "Figure 12: replay slowdown vs native (%)"
+		fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+		fmt.Printf("%-11s", "app")
+		for _, n := range cores {
+			fmt.Printf("  %7s %7s %7s", fmt.Sprintf("krm/p%d", n),
+				fmt.Sprintf("vol/p%d", n), fmt.Sprintf("gra/p%d", n))
+		}
+		fmt.Println()
+		sums := map[pacifier.Mode][]float64{
+			pacifier.Karma:    make([]float64, len(cores)),
+			pacifier.Volition: make([]float64, len(cores)),
+			pacifier.Granule:  make([]float64, len(cores)),
+		}
+		for _, app := range apps {
+			fmt.Printf("%-11s", app)
+			for i, n := range cores {
+				k := key{app, n}
+				run := runs[k]
+				for _, m := range []pacifier.Mode{pacifier.Karma, pacifier.Volition, pacifier.Granule} {
+					sd := run.Slowdown(replays[k][m])
+					sums[m][i] += sd
+					fmt.Printf("  %6.1f%%", sd*100)
+				}
+			}
+			fmt.Println()
+		}
+		fmt.Printf("%-11s", "average")
+		for i := range cores {
+			for _, m := range []pacifier.Mode{pacifier.Karma, pacifier.Volition, pacifier.Granule} {
+				fmt.Printf("  %6.1f%%", sums[m][i]/float64(len(apps))*100)
+			}
+		}
+		fmt.Println()
+	}
+
+	if *fig == 0 || *fig == 13 {
+		header("Figure 13: maximum LHB entries occupied (16 configured)")
+		worst := 0
+		for _, app := range apps {
+			fmt.Printf("%-11s", app)
+			for _, n := range cores {
+				run := runs[key{app, n}]
+				v := run.LHBMax(pacifier.Volition)
+				g := run.LHBMax(pacifier.Granule)
+				if v > worst {
+					worst = v
+				}
+				if g > worst {
+					worst = g
+				}
+				fmt.Printf("  %7d %7d", v, g)
+			}
+			fmt.Println()
+		}
+		fmt.Printf("worst case: %d of 16 configured entries\n", worst)
+	}
+}

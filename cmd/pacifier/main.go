@@ -1,0 +1,126 @@
+// Command pacifier records and replays one workload on the simulated
+// machine, printing log statistics and the replay verdict.
+//
+// Usage:
+//
+//	pacifier -app radiosity -cores 16 -ops 2000 -seed 1 -mode gra
+//	pacifier -litmus sb -seed 3 -nonatomic
+//	pacifier -app fft -cores 16 -save fft.rrlog
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pacifier"
+)
+
+func main() {
+	var (
+		app       = flag.String("app", "", "SPLASH-2-like application (see -list)")
+		litmus    = flag.String("litmus", "", "litmus test: sb, mp, wrc, iriw, mp-fenced")
+		list      = flag.Bool("list", false, "list applications and exit")
+		cores     = flag.Int("cores", 16, "number of cores (threads)")
+		ops       = flag.Int("ops", 2000, "memory operations per thread")
+		seed      = flag.Uint64("seed", 1, "simulation seed")
+		modeName  = flag.String("mode", "gra", "recorder: karma, vol, gra, move, r-bound")
+		nonatomic = flag.Bool("nonatomic", false, "model non-atomic writes (PowerPC/ARM style)")
+		save      = flag.String("save", "", "write the encoded log to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range pacifier.Apps() {
+			fmt.Println(a)
+		}
+		return
+	}
+
+	mode, ok := map[string]pacifier.Mode{
+		"karma":   pacifier.Karma,
+		"vol":     pacifier.Volition,
+		"gra":     pacifier.Granule,
+		"move":    pacifier.MoveBound,
+		"r-bound": pacifier.RBound,
+	}[*modeName]
+	if !ok {
+		fail("unknown -mode %q", *modeName)
+	}
+
+	var w *pacifier.Workload
+	var err error
+	switch {
+	case *litmus != "":
+		w, err = pacifier.Litmus(*litmus)
+	case *app != "":
+		w, err = pacifier.App(*app, *cores, *ops, *seed)
+	default:
+		fail("need -app or -litmus (try -list)")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	modes := []pacifier.Mode{mode}
+	if mode != pacifier.Karma {
+		modes = append(modes, pacifier.Karma) // for the overhead metric
+	}
+	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic}, modes...)
+	if err != nil {
+		fail("record: %v", err)
+	}
+
+	st := run.LogStats(mode)
+	fmt.Printf("workload        %s (%d cores, %d mem ops)\n", w.Name, len(w.Threads), run.MemOps())
+	fmt.Printf("native          %d cycles\n", run.NativeCycles())
+	fmt.Printf("recorder        %v\n", mode)
+	fmt.Printf("chunks          %d\n", st.Chunks)
+	fmt.Printf("log bytes       %d (%.2f bytes/op)\n", st.TotalBytes,
+		float64(st.TotalBytes)/float64(run.MemOps()))
+	fmt.Printf("D_set entries   %d   P_set %d   value logs %d\n",
+		st.DEntries, st.PEntries, st.VEntries)
+	if mode != pacifier.Karma {
+		if oh, err := run.LogOverhead(mode); err == nil {
+			fmt.Printf("vs karma        %+.1f%%\n", oh*100)
+		}
+	}
+	fmt.Printf("LHB max         %d (configured 16)\n", run.LHBMax(mode))
+
+	res, err := run.Replay(mode)
+	if err != nil {
+		fail("replay: %v", err)
+	}
+	fmt.Printf("replay          %d ops, slowdown %+.1f%%\n", res.OpsReplayed, run.Slowdown(res)*100)
+	if res.Deterministic() {
+		fmt.Println("verdict         DETERMINISTIC (exact reproduction)")
+	} else {
+		fmt.Printf("verdict         DIVERGED: %d mismatches, %d order breaks\n",
+			res.MismatchCount, res.OrderBreaks)
+		for i, m := range res.Mismatches {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  %s\n", m.String())
+		}
+		if mode == pacifier.Karma {
+			fmt.Println("  (expected: Karma cannot replay SCVs under relaxed consistency)")
+		}
+	}
+
+	if *save != "" {
+		blob, err := run.EncodedLog(mode)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*save, blob, 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("log written     %s (%d bytes)\n", *save, len(blob))
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pacifier: "+format+"\n", args...)
+	os.Exit(1)
+}

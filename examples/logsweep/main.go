@@ -1,0 +1,32 @@
+// logsweep reproduces the Figure 11 experiment shape from the public
+// API: the log-size increase of Granule over Karma grows with the number
+// of processors, because more processors make SCV patterns more likely.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pacifier"
+)
+
+func main() {
+	fmt.Println("Granule log-size increase over Karma (radiosity, 2000 ops/thread)")
+	for _, cores := range []int{4, 8, 16, 32, 64} {
+		w, err := pacifier.App("radiosity", cores, 2000, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		run, err := pacifier.Record(w, pacifier.Options{Seed: 1, Atomic: true},
+			pacifier.Karma, pacifier.Volition, pacifier.Granule)
+		if err != nil {
+			log.Fatal(err)
+		}
+		vol, _ := run.LogOverhead(pacifier.Volition)
+		gra, _ := run.LogOverhead(pacifier.Granule)
+		fmt.Printf("  %2d cores: vol %+6.2f%%  gra %+6.2f%%  (karma %6d bytes, %4d D_set entries)\n",
+			cores, vol*100, gra*100,
+			run.LogStats(pacifier.Karma).TotalBytes,
+			run.LogStats(pacifier.Granule).DEntries)
+	}
+}

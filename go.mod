@@ -1,0 +1,3 @@
+module pacifier
+
+go 1.22

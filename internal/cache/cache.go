@@ -1,0 +1,235 @@
+// Package cache implements the set-associative cache arrays used for the
+// private L1s and the banked shared L2 of the simulated machine
+// (Table 4: 32KB 4-way L1, 1MB 8-way L2 modules, 32-byte lines, LRU,
+// write-back).
+//
+// The cache holds coherence metadata and (for the L1s) the line's data
+// image. Timing is not modeled here — the coherence controllers charge
+// latencies; this package only answers hit/miss/evict questions
+// deterministically.
+package cache
+
+import "fmt"
+
+// Addr is a byte address in the simulated physical address space.
+type Addr uint64
+
+// Line is a cache-line-aligned address (Addr >> offsetBits).
+type Line uint64
+
+// State is the MESI coherence state of a cached line.
+type State uint8
+
+// MESI states. Invalid lines are not stored at all; the constant exists
+// for lookups that miss.
+const (
+	Invalid State = iota
+	Shared
+	Exclusive
+	Modified
+)
+
+// String returns the one-letter MESI name.
+func (s State) String() string {
+	switch s {
+	case Invalid:
+		return "I"
+	case Shared:
+		return "S"
+	case Exclusive:
+		return "E"
+	case Modified:
+		return "M"
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Config describes one cache array.
+type Config struct {
+	SizeBytes int // total capacity
+	Ways      int // associativity
+	LineBytes int // line size (power of two)
+}
+
+// L1Config returns the paper's L1 geometry: 32KB, 4-way, 32B lines.
+func L1Config() Config { return Config{SizeBytes: 32 << 10, Ways: 4, LineBytes: 32} }
+
+// L2BankConfig returns one L2 module: 1MB, 8-way, 32B lines.
+func L2BankConfig() Config { return Config{SizeBytes: 1 << 20, Ways: 8, LineBytes: 32} }
+
+// entry is one resident line.
+type entry struct {
+	line  Line
+	state State
+	lru   uint64 // last-touch tick; larger = more recent
+	dirty bool
+}
+
+// Cache is a set-associative array with true-LRU replacement.
+type Cache struct {
+	cfg        Config
+	sets       [][]entry // sets[set] has up to Ways entries
+	offsetBits uint
+	setMask    uint64
+	tick       uint64
+}
+
+// New builds a cache. It panics on a malformed geometry: misconfigured
+// machines are programming errors, not runtime conditions.
+func New(cfg Config) *Cache {
+	if cfg.LineBytes <= 0 || cfg.LineBytes&(cfg.LineBytes-1) != 0 {
+		panic("cache: line size must be a positive power of two")
+	}
+	if cfg.Ways <= 0 || cfg.SizeBytes <= 0 {
+		panic("cache: ways and size must be positive")
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	if lines%cfg.Ways != 0 {
+		panic("cache: size/line not divisible by ways")
+	}
+	nsets := lines / cfg.Ways
+	if nsets&(nsets-1) != 0 {
+		panic("cache: set count must be a power of two")
+	}
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]entry, nsets),
+		setMask: uint64(nsets - 1),
+	}
+	for b := cfg.LineBytes; b > 1; b >>= 1 {
+		c.offsetBits++
+	}
+	return c
+}
+
+// LineOf maps a byte address to its line.
+func (c *Cache) LineOf(a Addr) Line { return Line(uint64(a) >> c.offsetBits) }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.cfg.LineBytes }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return len(c.sets) }
+
+func (c *Cache) setOf(l Line) int { return int(uint64(l) & c.setMask) }
+
+// Lookup returns the state of line l, or Invalid if not resident. It does
+// not touch LRU state.
+func (c *Cache) Lookup(l Line) State {
+	for i := range c.sets[c.setOf(l)] {
+		if e := &c.sets[c.setOf(l)][i]; e.line == l {
+			return e.state
+		}
+	}
+	return Invalid
+}
+
+// Touch marks line l most-recently-used. No-op if absent.
+func (c *Cache) Touch(l Line) {
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].line == l {
+			c.tick++
+			set[i].lru = c.tick
+			return
+		}
+	}
+}
+
+// SetState changes the state of a resident line. It panics if the line is
+// not resident or the new state is Invalid (use Evict for that).
+func (c *Cache) SetState(l Line, s State) {
+	if s == Invalid {
+		panic("cache: SetState(Invalid); use Evict")
+	}
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].line == l {
+			set[i].state = s
+			if s == Modified {
+				set[i].dirty = true
+			}
+			return
+		}
+	}
+	panic(fmt.Sprintf("cache: SetState on non-resident line %#x", uint64(l)))
+}
+
+// Dirty reports whether a resident line has been written since fill.
+func (c *Cache) Dirty(l Line) bool {
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].line == l {
+			return set[i].dirty
+		}
+	}
+	return false
+}
+
+// Victim describes a line displaced by Insert.
+type Victim struct {
+	Line  Line
+	State State
+	Dirty bool
+}
+
+// Insert fills line l in state s, evicting the LRU entry of the set if it
+// is full. It returns the victim, if any. Inserting a line that is
+// already resident just updates its state and recency.
+func (c *Cache) Insert(l Line, s State) (Victim, bool) {
+	if s == Invalid {
+		panic("cache: Insert(Invalid)")
+	}
+	si := c.setOf(l)
+	set := c.sets[si]
+	c.tick++
+	for i := range set {
+		if set[i].line == l {
+			set[i].state = s
+			set[i].lru = c.tick
+			if s == Modified {
+				set[i].dirty = true
+			}
+			return Victim{}, false
+		}
+	}
+	if len(set) < c.cfg.Ways {
+		c.sets[si] = append(set, entry{line: l, state: s, lru: c.tick, dirty: s == Modified})
+		return Victim{}, false
+	}
+	// Evict true-LRU.
+	vi := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[vi].lru {
+			vi = i
+		}
+	}
+	v := Victim{Line: set[vi].line, State: set[vi].state, Dirty: set[vi].dirty}
+	set[vi] = entry{line: l, state: s, lru: c.tick, dirty: s == Modified}
+	return v, true
+}
+
+// Evict removes line l, returning its prior state and dirtiness. No-op
+// (Invalid, false) if absent.
+func (c *Cache) Evict(l Line) (State, bool) {
+	si := c.setOf(l)
+	set := c.sets[si]
+	for i := range set {
+		if set[i].line == l {
+			st, d := set[i].state, set[i].dirty
+			set[i] = set[len(set)-1]
+			c.sets[si] = set[:len(set)-1]
+			return st, d
+		}
+	}
+	return Invalid, false
+}
+
+// Resident returns the number of lines currently cached.
+func (c *Cache) Resident() int {
+	n := 0
+	for _, set := range c.sets {
+		n += len(set)
+	}
+	return n
+}

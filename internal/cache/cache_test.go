@@ -1,0 +1,203 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tiny() *Cache {
+	// 4 sets x 2 ways x 32B lines = 256B: easy to force evictions.
+	return New(Config{SizeBytes: 256, Ways: 2, LineBytes: 32})
+}
+
+func TestGeometry(t *testing.T) {
+	c := New(L1Config())
+	if c.Sets() != 256 {
+		t.Fatalf("L1 sets = %d, want 256", c.Sets())
+	}
+	if c.LineBytes() != 32 {
+		t.Fatalf("line bytes = %d", c.LineBytes())
+	}
+	c2 := New(L2BankConfig())
+	if c2.Sets() != 4096 {
+		t.Fatalf("L2 sets = %d, want 4096", c2.Sets())
+	}
+}
+
+func TestLineOf(t *testing.T) {
+	c := tiny()
+	if c.LineOf(0) != 0 || c.LineOf(31) != 0 || c.LineOf(32) != 1 || c.LineOf(95) != 2 {
+		t.Fatal("LineOf misaligned")
+	}
+}
+
+func TestInsertLookup(t *testing.T) {
+	c := tiny()
+	if c.Lookup(5) != Invalid {
+		t.Fatal("empty cache claims residency")
+	}
+	c.Insert(5, Shared)
+	if c.Lookup(5) != Shared {
+		t.Fatal("inserted line not found")
+	}
+	if c.Resident() != 1 {
+		t.Fatalf("resident = %d", c.Resident())
+	}
+}
+
+func TestInsertUpdatesExisting(t *testing.T) {
+	c := tiny()
+	c.Insert(5, Shared)
+	v, evicted := c.Insert(5, Modified)
+	if evicted {
+		t.Fatalf("re-insert evicted %+v", v)
+	}
+	if c.Lookup(5) != Modified || !c.Dirty(5) {
+		t.Fatal("state not upgraded")
+	}
+	if c.Resident() != 1 {
+		t.Fatal("duplicate entry created")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := tiny() // 2 ways; lines 0, 4, 8 map to set 0 (4 sets)
+	c.Insert(0, Shared)
+	c.Insert(4, Shared)
+	c.Touch(0) // 0 is now MRU; 4 is LRU
+	v, ev := c.Insert(8, Shared)
+	if !ev || v.Line != 4 {
+		t.Fatalf("evicted %+v, want line 4", v)
+	}
+	if c.Lookup(0) != Shared || c.Lookup(8) != Shared || c.Lookup(4) != Invalid {
+		t.Fatal("post-eviction residency wrong")
+	}
+}
+
+func TestEvictionReportsDirty(t *testing.T) {
+	c := tiny()
+	c.Insert(0, Modified)
+	c.Insert(4, Shared)
+	v, ev := c.Insert(8, Shared) // 0 is LRU
+	if !ev || v.Line != 0 || !v.Dirty || v.State != Modified {
+		t.Fatalf("victim = %+v", v)
+	}
+}
+
+func TestSetStateTracksDirty(t *testing.T) {
+	c := tiny()
+	c.Insert(3, Exclusive)
+	if c.Dirty(3) {
+		t.Fatal("E fill marked dirty")
+	}
+	c.SetState(3, Modified)
+	if !c.Dirty(3) {
+		t.Fatal("M upgrade not dirty")
+	}
+	// Downgrade M->S keeps dirty until eviction/writeback handled by owner.
+	c.SetState(3, Shared)
+	if c.Lookup(3) != Shared {
+		t.Fatal("downgrade lost")
+	}
+}
+
+func TestSetStatePanicsOnMissing(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetState on absent line did not panic")
+		}
+	}()
+	tiny().SetState(9, Shared)
+}
+
+func TestEvictExplicit(t *testing.T) {
+	c := tiny()
+	c.Insert(7, Modified)
+	st, d := c.Evict(7)
+	if st != Modified || !d {
+		t.Fatalf("Evict returned (%v,%v)", st, d)
+	}
+	if c.Lookup(7) != Invalid || c.Resident() != 0 {
+		t.Fatal("line still resident after Evict")
+	}
+	st, d = c.Evict(7)
+	if st != Invalid || d {
+		t.Fatal("double-evict should be a no-op")
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	c := tiny()
+	// Fill set 0 beyond capacity; set 1 lines must be untouched.
+	c.Insert(1, Shared) // set 1
+	c.Insert(0, Shared)
+	c.Insert(4, Shared)
+	c.Insert(8, Shared)
+	c.Insert(12, Shared)
+	if c.Lookup(1) != Shared {
+		t.Fatal("set-0 pressure evicted a set-1 line")
+	}
+}
+
+func TestCapacityNeverExceeded(t *testing.T) {
+	c := tiny()
+	f := func(lines []uint16) bool {
+		for _, l := range lines {
+			c.Insert(Line(l%64), Shared)
+			if c.Resident() > 8 { // 4 sets x 2 ways
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLookupAfterManyInserts(t *testing.T) {
+	c := New(L1Config())
+	// Property: after inserting a line, it is immediately resident.
+	f := func(l uint32) bool {
+		c.Insert(Line(l), Exclusive)
+		return c.Lookup(Line(l)) == Exclusive
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Invalid.String() != "I" || Shared.String() != "S" ||
+		Exclusive.String() != "E" || Modified.String() != "M" {
+		t.Fatal("MESI state names wrong")
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 256, Ways: 2, LineBytes: 33}, // non-pow2 line
+		{SizeBytes: 0, Ways: 2, LineBytes: 32},
+		{SizeBytes: 256, Ways: 0, LineBytes: 32},
+		{SizeBytes: 96, Ways: 2, LineBytes: 32}, // 3 lines, not divisible
+	}
+	for i, cfg := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: bad geometry %+v did not panic", i, cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+func TestInsertInvalidPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert(Invalid) did not panic")
+		}
+	}()
+	tiny().Insert(1, Invalid)
+}

@@ -1,0 +1,338 @@
+package coherence
+
+import (
+	"fmt"
+
+	"pacifier/internal/cache"
+	"pacifier/internal/noc"
+	"pacifier/internal/sim"
+)
+
+// dirState is the directory's view of one line. Directory metadata is
+// held in an unbounded map: the L2 arrays model only data-access timing,
+// never losing sharer information. (A real design would back directory
+// entries with the inclusive L2; keeping them precise here removes an
+// orthogonal source of protocol noise without affecting the recorder.)
+type dirState struct {
+	owner   int    // tile holding the line in E/M, or -1
+	sharers uint64 // bitset of tiles holding the line in S
+	lw      AccessRef
+	lwValid bool // lw names the access that produced the home image
+	// Last-reader hint: when an owner writes back and evicts, its local
+	// reads of the line would otherwise be forgotten — no invalidation
+	// will ever reach it — and the WAR ordering to the next writer would
+	// be lost. The writeback carries the owner's last read (with its
+	// chunk snapshot) and the directory keeps it until the next write.
+	lr      AccessRef
+	lrSnap  SrcSnap
+	lrValid bool
+}
+
+// txn is one in-flight transaction blocking a line at its home.
+type txn struct {
+	line        cache.Line
+	requester   noc.NodeID
+	needWB      bool // waiting for the old owner's writeback copy
+	wbDone      bool
+	needUnblock bool // waiting for the requester's unblock
+	unblockDone bool
+}
+
+func (t *txn) complete() bool {
+	return (!t.needWB || t.wbDone) && (!t.needUnblock || t.unblockDone)
+}
+
+// home is one directory/L2 bank.
+type home struct {
+	sys  *System
+	id   noc.NodeID
+	dir  map[cache.Line]*dirState
+	img  map[cache.Line]*[]uint64 // backing data image ("memory")
+	l2   *cache.Cache             // timing-only data array
+	txns map[cache.Line]*txn
+	q    map[cache.Line][]func()
+
+	busyCount int
+}
+
+func newHome(sys *System, id noc.NodeID) *home {
+	return &home{
+		sys:  sys,
+		id:   id,
+		dir:  make(map[cache.Line]*dirState),
+		img:  make(map[cache.Line]*[]uint64),
+		l2:   cache.New(sys.cfg.L2),
+		txns: make(map[cache.Line]*txn),
+		q:    make(map[cache.Line][]func()),
+	}
+}
+
+func (h *home) state(l cache.Line) *dirState {
+	st, ok := h.dir[l]
+	if !ok {
+		st = &dirState{owner: -1}
+		h.dir[l] = st
+	}
+	return st
+}
+
+func (h *home) data(l cache.Line) []uint64 {
+	d, ok := h.img[l]
+	if !ok {
+		nd := make([]uint64, h.sys.lineWords)
+		h.img[l] = &nd
+		return nd
+	}
+	return *d
+}
+
+// accessLat charges the L2 data-array access: hit pays L2Lat, miss pays
+// the memory round trip and fills the array.
+func (h *home) accessLat(l cache.Line) sim.Cycle {
+	if h.l2.Lookup(l) != cache.Invalid {
+		h.l2.Touch(l)
+		if h.sys.stats != nil {
+			h.sys.stats.Inc("l2.hits", 1)
+		}
+		return h.sys.cfg.L2Lat
+	}
+	h.l2.Insert(l, cache.Shared)
+	if h.sys.stats != nil {
+		h.sys.stats.Inc("l2.misses", 1)
+	}
+	return h.sys.cfg.L2Lat + h.sys.cfg.MemLat
+}
+
+// dispatch runs fn now if the line is idle, otherwise queues it in FIFO
+// order behind the current transaction.
+func (h *home) dispatch(l cache.Line, fn func()) {
+	if _, busy := h.txns[l]; busy {
+		h.q[l] = append(h.q[l], fn)
+		return
+	}
+	fn()
+}
+
+// begin blocks the line for a new transaction.
+func (h *home) begin(t *txn) {
+	if _, busy := h.txns[t.line]; busy {
+		panic("coherence: overlapping transactions on one line")
+	}
+	h.txns[t.line] = t
+	h.busyCount++
+}
+
+// maybeFinish releases the line if the transaction is complete, then
+// drains the next queued request.
+func (h *home) maybeFinish(t *txn) {
+	if !t.complete() {
+		return
+	}
+	delete(h.txns, t.line)
+	h.busyCount--
+	if q := h.q[t.line]; len(q) > 0 {
+		next := q[0]
+		if len(q) == 1 {
+			delete(h.q, t.line)
+		} else {
+			h.q[t.line] = q[1:]
+		}
+		next()
+	}
+}
+
+// ---------------------------------------------------------------------
+// Request handlers. Each runs at the home tile at message-arrival time.
+// ---------------------------------------------------------------------
+
+// onGetS handles a read miss request from tile req for the line holding
+// access (reqPID, reqSN).
+func (h *home) onGetS(l cache.Line, req noc.NodeID, reqSN SN) {
+	h.dispatch(l, func() { h.serveGetS(l, req, reqSN) })
+}
+
+func (h *home) serveGetS(l cache.Line, req noc.NodeID, reqSN SN) {
+	sys := h.sys
+	st := h.state(l)
+	if st.owner == int(req) {
+		// The requester itself is the registered owner: its writeback
+		// raced ahead of this request. Treat as clean.
+		st.owner = -1
+	}
+	if st.owner >= 0 {
+		// Dirty remote: three-hop forward. The home stays blocked until
+		// it has the writeback copy and the requester's unblock.
+		t := &txn{line: l, requester: req, needWB: true, needUnblock: true}
+		h.begin(t)
+		owner := noc.NodeID(st.owner)
+		st.sharers |= 1<<uint(st.owner) | 1<<uint(req)
+		st.owner = -1
+		sys.mesh.Send(h.id, owner, ctrlFlits, func() {
+			sys.l1s[owner].onFwdGetS(l, req, reqSN, h.id)
+		})
+		return
+	}
+	// Clean at home: serve from the image after the array access. The
+	// home stays blocked for the access duration so a later write's
+	// invalidations cannot overtake the data reply (same src/dst pair
+	// FIFO then orders them).
+	t := &txn{line: l, requester: req, needUnblock: true}
+	h.begin(t)
+	lat := h.accessLat(l)
+	var snap SrcSnap
+	var src AccessRef
+	hasDep := st.lwValid && st.lw.PID != int(req)
+	if hasDep {
+		src = st.lw
+		snap = sys.obs.SnapshotSource(src.PID, src.SN)
+		sys.obs.OnLocalSource(src.PID, src.SN, true)
+	}
+	val := make([]uint64, sys.lineWords)
+	copy(val, h.data(l))
+	st.sharers |= 1 << uint(req)
+	sys.eng.After(lat, func() {
+		sys.mesh.Send(h.id, req, dataFlits, func() {
+			sys.l1s[req].onData(l, val, hasDep, src, snap, reqSN)
+		})
+		t.unblockDone = true // clean-path data needs no explicit unblock
+		h.maybeFinish(t)
+	})
+}
+
+// onGetM handles a write (or RMW) request.
+func (h *home) onGetM(l cache.Line, req noc.NodeID, reqSN SN) {
+	h.dispatch(l, func() { h.serveGetM(l, req, reqSN) })
+}
+
+func (h *home) serveGetM(l cache.Line, req noc.NodeID, reqSN SN) {
+	sys := h.sys
+	st := h.state(l)
+	writer := AccessRef{PID: int(req), SN: reqSN, IsWrite: true}
+	if st.owner == int(req) {
+		st.owner = -1 // stale: racing writeback from the requester itself
+	}
+	if st.owner >= 0 {
+		// Transfer ownership from the old owner. Sharer invalidations are
+		// not needed: with an owner the sharer set is empty by invariant
+		// (the line was exclusive).
+		t := &txn{line: l, requester: req, needUnblock: true}
+		h.begin(t)
+		owner := noc.NodeID(st.owner)
+		st.owner = int(req)
+		st.sharers = 0
+		st.lw, st.lwValid = writer, true
+		st.lrValid = false
+		sys.mesh.Send(h.id, owner, ctrlFlits, func() {
+			sys.l1s[owner].onFwdGetM(l, req, reqSN, writer)
+		})
+		// Tell the requester how many invalidation acks to expect (zero
+		// beyond the owner's data message).
+		sys.mesh.Send(h.id, req, ctrlFlits, func() {
+			sys.l1s[req].onAckCount(l, 0)
+		})
+		return
+	}
+	// Clean at home: data from the image, invalidations to every sharer
+	// except the requester.
+	t := &txn{line: l, requester: req, needUnblock: true}
+	h.begin(t)
+	lat := h.accessLat(l)
+	var deps []Dependence
+	if st.lwValid && st.lw.PID != int(req) {
+		src := st.lw
+		snap := sys.obs.SnapshotSource(src.PID, src.SN)
+		sys.obs.OnLocalSource(src.PID, src.SN, true)
+		deps = append(deps, Dependence{Kind: WAW, Src: src, Snap: snap, Line: l})
+	}
+	if st.lrValid && st.lr.PID != int(req) {
+		deps = append(deps, Dependence{Kind: WAR, Src: st.lr, Snap: st.lrSnap, Line: l})
+	}
+	st.lrValid = false // consumed by this write epoch
+	val := make([]uint64, sys.lineWords)
+	copy(val, h.data(l))
+	targets := st.sharers &^ (1 << uint(req))
+	ackCount := popcount(targets)
+	st.owner = int(req)
+	st.sharers = 0
+	st.lw, st.lwValid = writer, true
+	for pid := 0; pid < sys.cfg.Nodes; pid++ {
+		if targets&(1<<uint(pid)) == 0 {
+			continue
+		}
+		pid := pid
+		sys.mesh.Send(h.id, noc.NodeID(pid), ctrlFlits, func() {
+			sys.l1s[pid].onInv(l, req, writer)
+		})
+	}
+	sys.eng.After(lat, func() {
+		sys.mesh.Send(h.id, req, dataFlits, func() {
+			sys.l1s[req].onDataM(l, val, ackCount, deps)
+		})
+	})
+}
+
+// onWB receives the owner's writeback copy during a Fwd_GetS
+// transaction. lwValid/lwSN carry the owner's true last write to the
+// line: the directory's lastWriter was set at the GetM grant (the miss's
+// primary store) and hit stores may have advanced it since.
+func (h *home) onWB(l cache.Line, data []uint64, from noc.NodeID, lwValid bool, lwSN SN) {
+	st := h.state(l)
+	if lwValid && st.lwValid && st.lw.PID == int(from) && lwSN > st.lw.SN {
+		st.lw.SN = lwSN
+	}
+	t := h.txns[l]
+	if t == nil || !t.needWB {
+		// Unsolicited data copy (e.g. late downgrade): accept it.
+		copy(h.data(l), data)
+		return
+	}
+	copy(h.data(l), data)
+	t.wbDone = true
+	h.maybeFinish(t)
+}
+
+// onUnblock releases the line when the requester has what it needs.
+func (h *home) onUnblock(l cache.Line) {
+	t := h.txns[l]
+	if t == nil {
+		panic(fmt.Sprintf("coherence: unblock for idle line %#x", uint64(l)))
+	}
+	t.unblockDone = true
+	h.maybeFinish(t)
+}
+
+// onPutM handles an eviction writeback (dirty=true carries data) or an
+// ownership relinquish (clean E eviction). hasRead/rd/rdSnap carry the
+// evicting owner's last read of the line (see dirState.lr).
+func (h *home) onPutM(l cache.Line, from noc.NodeID, data []uint64, dirty bool,
+	hasRead bool, rd AccessRef, rdSnap SrcSnap, lwValid bool, lwSN SN) {
+	h.dispatch(l, func() {
+		st := h.state(l)
+		if st.owner == int(from) {
+			st.owner = -1
+			if dirty {
+				copy(h.data(l), data)
+			}
+			if hasRead {
+				st.lr, st.lrSnap, st.lrValid = rd, rdSnap, true
+			}
+			if lwValid && st.lwValid && st.lw.PID == int(from) && lwSN > st.lw.SN {
+				st.lw.SN = lwSN
+			}
+		}
+		// Stale PutM (ownership already moved): just ack; the data
+		// already traveled with the forward response.
+		h.sys.mesh.Send(h.id, from, ctrlFlits, func() {
+			h.sys.l1s[from].onPutAck(l)
+		})
+	})
+}
+
+func popcount(v uint64) int {
+	n := 0
+	for v != 0 {
+		v &= v - 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,883 @@
+package coherence
+
+import (
+	"fmt"
+
+	"pacifier/internal/cache"
+	"pacifier/internal/noc"
+)
+
+// loadWaiter is a load parked in an MSHR until data arrives.
+type loadWaiter struct {
+	a    Addr
+	sn   SN
+	done func(uint64)
+}
+
+// storeWaiter is a store parked in an MSHR until ownership arrives.
+type storeWaiter struct {
+	a     Addr
+	val   uint64
+	sn    SN
+	local func() // performed w.r.t. the issuing core (data+ownership here)
+	done  func() // globally performed (all invalidation acks in)
+}
+
+// rmwWaiter is an atomic read-modify-write parked until ownership.
+type rmwWaiter struct {
+	a      Addr
+	sn     SN
+	update func(old uint64) (uint64, bool)
+	done   func(old uint64, applied bool)
+	// captured at apply time, reported at global perform:
+	old     uint64
+	applied bool
+}
+
+// mshr tracks one outstanding miss per line, from request to data
+// arrival. Ack counting after data arrival lives in ackTracker so a
+// second miss epoch can begin while old invalidation acks are in flight
+// (possible in non-atomic mode).
+type mshr struct {
+	line   cache.Line
+	wantM  bool
+	loads  []loadWaiter
+	stores []storeWaiter
+	rmws   []rmwWaiter
+	// staleInv: an invalidation for this line arrived while the read
+	// miss was in flight (the invalidation came from the home, the data
+	// from the old owner — different ordered channels). The data is
+	// coherent as of its serve time but already superseded: waiting
+	// loads use it once, their values are logged, and the line is not
+	// installed.
+	staleInv bool
+}
+
+// ackTracker counts invalidation acks for one store epoch.
+type ackTracker struct {
+	line    cache.Line
+	storeSN SN // primary (oldest) store of the epoch, tags Inv/InvAck matching
+	needed  int
+	got     int
+	// newValObserved: in non-atomic mode, a remote reader was forwarded
+	// the new value before all acks arrived (Section 3.2 trigger).
+	newValObserved bool
+	stores         []storeWaiter
+	rmws           []rmwWaiter
+	unblockAtDone  bool // atomic mode: home unblocks at global perform
+	finished       bool // completion callbacks already fired
+}
+
+func (t *ackTracker) complete() bool { return t.needed >= 0 && t.got >= t.needed }
+
+// stashedAck is an invalidation ack waiting for its tracker to exist.
+type stashedAck struct {
+	from     noc.NodeID
+	writer   AccessRef
+	warValid bool
+	warSrc   AccessRef
+	snap     SrcSnap
+	pwq      PWQueryResult
+}
+
+// L1 is one core's private cache controller.
+type L1 struct {
+	sys *System
+	id  noc.NodeID
+
+	arr   *cache.Cache
+	data  map[cache.Line]*[]uint64
+	wbBuf map[cache.Line][]uint64
+
+	// Recording metadata: the last local access SNs per line, the
+	// information a recorder keeps alongside the cache to source WAR/RAW
+	// edges. Retained past eviction (conservative, like a directory-side
+	// sticky entry) and cleared on invalidation.
+	lastRead  map[cache.Line]SN
+	lastWrite map[cache.Line]SN
+
+	mshrs    map[cache.Line]*mshr
+	trackers map[cache.Line][]*ackTracker
+	// ackCountStash holds AckCount messages that arrived before the
+	// owner-forwarded data created the tracker.
+	ackCountStash map[cache.Line][]int
+	// ackStash holds invalidation acks that raced ahead of the DataM
+	// that creates their tracker (the home delays DataM by the L2 access
+	// latency but sends invalidations immediately).
+	ackStash map[cache.Line][]stashedAck
+	// deferred holds requests for lines with an in-flight eviction
+	// writeback; they reissue when the PutAck arrives.
+	deferred map[cache.Line][]func()
+	// epochStores lists every store/RMW SN performed on the line since
+	// its current fill. A WAR arriving with a (late) invalidation ack
+	// constrains all of them, not just the stores of the original miss.
+	epochStores map[cache.Line][]SN
+	// lineDeps remembers the dependences of the transaction that filled
+	// a line. Cache hits are invisible to the protocol, but they inherit
+	// the fill's ordering: if the recorder extracted the fill's
+	// destination from its chunk, a hit left behind in a closed chunk
+	// would otherwise replay unordered. Cleared when the line is lost.
+	lineDeps map[cache.Line][]Dependence
+}
+
+func newL1(sys *System, id noc.NodeID) *L1 {
+	return &L1{
+		sys:           sys,
+		id:            id,
+		arr:           cache.New(sys.cfg.L1),
+		data:          make(map[cache.Line]*[]uint64),
+		wbBuf:         make(map[cache.Line][]uint64),
+		lastRead:      make(map[cache.Line]SN),
+		lastWrite:     make(map[cache.Line]SN),
+		mshrs:         make(map[cache.Line]*mshr),
+		trackers:      make(map[cache.Line][]*ackTracker),
+		ackCountStash: make(map[cache.Line][]int),
+		ackStash:      make(map[cache.Line][]stashedAck),
+		deferred:      make(map[cache.Line][]func()),
+		lineDeps:      make(map[cache.Line][]Dependence),
+		epochStores:   make(map[cache.Line][]SN),
+	}
+}
+
+func (c *L1) pid() int { return int(c.id) }
+
+// deliverLineDeps reports the line's fill dependences with the hitting
+// access as destination (see the lineDeps field comment).
+func (c *L1) deliverLineDeps(l cache.Line, sn SN, isWrite bool) {
+	deps := c.lineDeps[l]
+	if len(deps) == 0 {
+		return
+	}
+	dst := AccessRef{PID: c.pid(), SN: sn, IsWrite: isWrite}
+	for _, d := range deps {
+		d.Dst = dst
+		c.sys.obs.OnDependence(d)
+	}
+}
+
+func (c *L1) lineData(l cache.Line) []uint64 {
+	d, ok := c.data[l]
+	if !ok {
+		nd := make([]uint64, c.sys.lineWords)
+		c.data[l] = &nd
+		return nd
+	}
+	return *d
+}
+
+// ---------------------------------------------------------------------
+// Core-facing API
+// ---------------------------------------------------------------------
+
+// Load issues a load. done fires (after the appropriate latency) with the
+// value when the load performs.
+func (c *L1) Load(a Addr, sn SN, done func(uint64)) {
+	l := c.arr.LineOf(a)
+	if c.arr.Lookup(l) != cache.Invalid {
+		// Hit: the value binds now; the reply pays the L1 round trip.
+		c.arr.Touch(l)
+		v := c.lineData(l)[c.sys.wordIdx(a)]
+		if sn > c.lastRead[l] {
+			c.lastRead[l] = sn
+		}
+		c.deliverLineDeps(l, sn, false)
+		c.count("l1.load_hits")
+		c.sys.eng.After(c.sys.cfg.L1HitLat, func() { done(v) })
+		return
+	}
+	c.count("l1.load_misses")
+	if ms, ok := c.mshrs[l]; ok {
+		ms.loads = append(ms.loads, loadWaiter{a, sn, done})
+		return
+	}
+	if _, wb := c.wbBuf[l]; wb {
+		c.deferred[l] = append(c.deferred[l], func() { c.Load(a, sn, done) })
+		return
+	}
+	c.mshrs[l] = &mshr{line: l, loads: []loadWaiter{{a, sn, done}}}
+	home := c.sys.HomeNode(l)
+	c.sys.mesh.Send(c.id, home, ctrlFlits, func() {
+		c.sys.homeOf(l).onGetS(l, c.id, sn)
+	})
+}
+
+// Store issues a store. local fires when the store is performed with
+// respect to the issuing core (data and ownership present); done fires
+// when it is globally performed.
+func (c *L1) Store(a Addr, val uint64, sn SN, local, done func()) {
+	l := c.arr.LineOf(a)
+	if c.arr.Lookup(l) == cache.Modified {
+		// Hit on an owned line: performs locally at once, but it is only
+		// *globally* performed when the line's pending invalidation
+		// epoch (if any) completes — stale copies may still be readable
+		// elsewhere, and the epoch's WAR acks constrain this store too.
+		c.arr.Touch(l)
+		c.lineData(l)[c.sys.wordIdx(a)] = val
+		if sn > c.lastWrite[l] {
+			c.lastWrite[l] = sn
+		}
+		c.deliverLineDeps(l, sn, true)
+		c.epochStores[l] = append(c.epochStores[l], sn)
+		c.count("l1.store_hits")
+		if tr := c.incompleteTracker(l); tr != nil {
+			c.sys.eng.After(c.sys.cfg.L1HitLat, local)
+			tr.stores = append(tr.stores, storeWaiter{a: a, val: val, sn: sn, local: local, done: done})
+			return
+		}
+		c.sys.eng.After(c.sys.cfg.L1HitLat, func() {
+			local()
+			done()
+		})
+		return
+	}
+	c.count("l1.store_misses")
+	if ms, ok := c.mshrs[l]; ok {
+		ms.stores = append(ms.stores, storeWaiter{a, val, sn, local, done})
+		if !ms.wantM {
+			ms.wantM = true // upgrade will be launched when data arrives
+		}
+		return
+	}
+	if _, wb := c.wbBuf[l]; wb {
+		c.deferred[l] = append(c.deferred[l], func() { c.Store(a, val, sn, local, done) })
+		return
+	}
+	c.mshrs[l] = &mshr{line: l, wantM: true,
+		stores: []storeWaiter{{a, val, sn, local, done}}}
+	c.sendGetM(l, sn)
+}
+
+// RMW issues an atomic read-modify-write (the machine's lock primitive).
+// update receives the old word and returns (new, apply). done fires at
+// global perform with the old value and whether the update was applied.
+func (c *L1) RMW(a Addr, sn SN, update func(old uint64) (uint64, bool), done func(old uint64, applied bool)) {
+	l := c.arr.LineOf(a)
+	if c.arr.Lookup(l) == cache.Modified {
+		c.arr.Touch(l)
+		w := c.sys.wordIdx(a)
+		old := c.lineData(l)[w]
+		nv, apply := update(old)
+		if apply {
+			c.lineData(l)[w] = nv
+			if sn > c.lastWrite[l] {
+				c.lastWrite[l] = sn
+			}
+		}
+		c.deliverLineDeps(l, sn, true)
+		c.epochStores[l] = append(c.epochStores[l], sn)
+		c.count("l1.rmw_hits")
+		if tr := c.incompleteTracker(l); tr != nil {
+			tr.rmws = append(tr.rmws, rmwWaiter{a: a, sn: sn, done: done, old: old, applied: apply})
+			return
+		}
+		c.sys.eng.After(c.sys.cfg.L1HitLat, func() { done(old, apply) })
+		return
+	}
+	c.count("l1.rmw_misses")
+	if ms, ok := c.mshrs[l]; ok {
+		ms.rmws = append(ms.rmws, rmwWaiter{a: a, sn: sn, update: update, done: done})
+		ms.wantM = true
+		return
+	}
+	if _, wb := c.wbBuf[l]; wb {
+		c.deferred[l] = append(c.deferred[l], func() { c.RMW(a, sn, update, done) })
+		return
+	}
+	c.mshrs[l] = &mshr{line: l, wantM: true,
+		rmws: []rmwWaiter{{a: a, sn: sn, update: update, done: done}}}
+	c.sendGetM(l, sn)
+}
+
+func (c *L1) sendGetM(l cache.Line, sn SN) {
+	home := c.sys.HomeNode(l)
+	c.sys.mesh.Send(c.id, home, ctrlFlits, func() {
+		c.sys.homeOf(l).onGetM(l, c.id, sn)
+	})
+}
+
+// ---------------------------------------------------------------------
+// Message handlers (arrival side)
+// ---------------------------------------------------------------------
+
+// onData: home-sourced fill for a GetS.
+func (c *L1) onData(l cache.Line, val []uint64, hasDep bool, src AccessRef, snap SrcSnap, reqSN SN) {
+	c.fillShared(l, val, hasDep, src, snap)
+}
+
+// onDataFromOwner: owner-sourced fill for a GetS (three-hop); the
+// requester must unblock the home.
+func (c *L1) onDataFromOwner(l cache.Line, val []uint64, hasDep bool, src AccessRef, snap SrcSnap) {
+	c.fillShared(l, val, hasDep, src, snap)
+	home := c.sys.HomeNode(l)
+	c.sys.mesh.Send(c.id, home, ctrlFlits, func() {
+		c.sys.homeOf(l).onUnblock(l)
+	})
+}
+
+func (c *L1) fillShared(l cache.Line, val []uint64, hasDep bool, src AccessRef, snap SrcSnap) {
+	ms := c.mshrs[l]
+	if ms == nil {
+		panic(fmt.Sprintf("coherence: data for line %#x with no MSHR at %d", uint64(l), c.id))
+	}
+	if ms.staleInv {
+		// Fill-and-discard: serve the waiting loads from the (already
+		// superseded) data, log their values so replay needs no order
+		// with the superseding writer, and leave the line invalid.
+		for _, w := range ms.loads {
+			v := val[c.sys.wordIdx(w.a)]
+			if hasDep {
+				c.sys.obs.OnDependence(Dependence{Kind: RAW, Src: src, Snap: snap,
+					Dst: AccessRef{PID: c.pid(), SN: w.sn}, Line: l})
+			}
+			c.sys.obs.OnLogOldValue(c.pid(), w.sn, l, v)
+			w.done(v)
+		}
+		ms.loads = nil
+		c.count("l1.stale_fills")
+		if ms.wantM {
+			sn := SN(0)
+			if len(ms.stores) > 0 {
+				sn = ms.stores[0].sn
+			} else if len(ms.rmws) > 0 {
+				sn = ms.rmws[0].sn
+			}
+			ms.staleInv = false
+			c.sendGetM(l, sn)
+			return
+		}
+		delete(c.mshrs, l)
+		c.drainDeferred(l)
+		return
+	}
+	c.install(l, cache.Shared, val)
+	delete(c.epochStores, l)
+	if hasDep {
+		c.lineDeps[l] = []Dependence{{Kind: RAW, Src: src, Snap: snap, Line: l}}
+	} else {
+		delete(c.lineDeps, l)
+	}
+	// Every waiting load is a dependence destination: program-order
+	// transitivity from the oldest is not enough, because the recorder
+	// may extract the oldest into a D_set (leaving the siblings in the
+	// chunk with no ordering).
+	if len(ms.loads) > 0 {
+		if hasDep {
+			for _, w := range ms.loads {
+				c.sys.obs.OnDependence(Dependence{
+					Kind: RAW,
+					Src:  src,
+					Snap: snap,
+					Dst:  AccessRef{PID: c.pid(), SN: w.sn},
+					Line: l,
+				})
+			}
+		}
+		for _, w := range ms.loads {
+			if w.sn > c.lastRead[l] {
+				c.lastRead[l] = w.sn
+			}
+			v := c.lineData(l)[c.sys.wordIdx(w.a)]
+			w.done(v)
+		}
+		ms.loads = nil
+	}
+	if ms.wantM {
+		// Stores arrived while the read miss was outstanding: upgrade.
+		sn := SN(0)
+		if len(ms.stores) > 0 {
+			sn = ms.stores[0].sn
+		} else if len(ms.rmws) > 0 {
+			sn = ms.rmws[0].sn
+		}
+		c.sendGetM(l, sn)
+		return
+	}
+	delete(c.mshrs, l)
+	c.drainDeferred(l)
+}
+
+// onDataM: home-sourced exclusive fill, ackCount known.
+func (c *L1) onDataM(l cache.Line, val []uint64, ackCount int, deps []Dependence) {
+	c.fillModifiedWithDeps(l, val, ackCount, deps)
+	if !c.sys.cfg.Atomic {
+		c.unblockHome(l)
+	}
+}
+
+// onDataMFromOwner: ownership transferred from the old owner. The ack
+// count arrives separately from the home (onAckCount).
+func (c *L1) onDataMFromOwner(l cache.Line, val []uint64, deps []Dependence) {
+	c.fillModifiedWithDeps(l, val, -1, deps)
+	// Non-atomic mode unblocks at data arrival; atomic at global perform.
+	if !c.sys.cfg.Atomic {
+		c.unblockHome(l)
+	}
+}
+
+// fillModifiedWithDeps installs the line in M, applies every queued store
+// and RMW, delivers the dependences (with the primary store as the
+// destination), and opens the ack-tracking epoch.
+func (c *L1) fillModifiedWithDeps(l cache.Line, val []uint64, ackCount int, deps []Dependence) {
+	ms := c.mshrs[l]
+	if ms == nil {
+		panic(fmt.Sprintf("coherence: DataM for line %#x with no MSHR at %d", uint64(l), c.id))
+	}
+	c.install(l, cache.Modified, val)
+	if len(deps) > 0 {
+		c.lineDeps[l] = append([]Dependence(nil), deps...)
+	} else {
+		delete(c.lineDeps, l)
+	}
+	es := c.epochStores[l][:0]
+	for _, sw := range ms.stores {
+		es = append(es, sw.sn)
+	}
+	for _, rw := range ms.rmws {
+		es = append(es, rw.sn)
+	}
+	c.epochStores[l] = es
+
+	primary := SN(0)
+	if len(ms.stores) > 0 {
+		primary = ms.stores[0].sn
+	}
+	if len(ms.rmws) > 0 && (primary == 0 || ms.rmws[0].sn < primary) {
+		primary = ms.rmws[0].sn
+	}
+	// Every store and RMW of this miss epoch performs through this
+	// transaction, so each is a destination of the epoch's dependences;
+	// queued loads read the incoming image and are destinations too
+	// (the oldest covers the rest through program order). Reporting only
+	// the primary would let the recorder delay one store of the epoch
+	// while siblings replay at their original position.
+	var dsts []AccessRef
+	for _, sw := range ms.stores {
+		dsts = append(dsts, AccessRef{PID: c.pid(), SN: sw.sn, IsWrite: true})
+	}
+	for _, rw := range ms.rmws {
+		dsts = append(dsts, AccessRef{PID: c.pid(), SN: rw.sn, IsWrite: true})
+	}
+	for _, lw := range ms.loads {
+		dsts = append(dsts, AccessRef{PID: c.pid(), SN: lw.sn})
+	}
+	for _, d := range deps {
+		for _, dst := range dsts {
+			d.Dst = dst
+			c.sys.obs.OnDependence(d)
+		}
+	}
+
+	w := func(a Addr) *uint64 { return &c.lineData(l)[c.sys.wordIdx(a)] }
+	for i := range ms.stores {
+		sw := &ms.stores[i]
+		*w(sw.a) = sw.val
+		if sw.sn > c.lastWrite[l] {
+			c.lastWrite[l] = sw.sn
+		}
+		sw.local()
+	}
+	for i := range ms.rmws {
+		rw := &ms.rmws[i]
+		rw.old = *w(rw.a)
+		nv, apply := rw.update(rw.old)
+		rw.applied = apply
+		if apply {
+			*w(rw.a) = nv
+			if rw.sn > c.lastWrite[l] {
+				c.lastWrite[l] = rw.sn
+			}
+		}
+	}
+
+	// Serve loads that were queued behind the write miss.
+	for _, lw := range ms.loads {
+		if lw.sn > c.lastRead[l] {
+			c.lastRead[l] = lw.sn
+		}
+		lw.done(c.lineData(l)[c.sys.wordIdx(lw.a)])
+	}
+
+	tr := &ackTracker{
+		line:          l,
+		storeSN:       primary,
+		needed:        ackCount,
+		stores:        ms.stores,
+		rmws:          ms.rmws,
+		unblockAtDone: c.sys.cfg.Atomic,
+	}
+	// Consume a stashed AckCount if it raced ahead of the data.
+	if st := c.ackCountStash[l]; tr.needed < 0 && len(st) > 0 {
+		tr.needed = st[0]
+		if len(st) == 1 {
+			delete(c.ackCountStash, l)
+		} else {
+			c.ackCountStash[l] = st[1:]
+		}
+	}
+	c.trackers[l] = append(c.trackers[l], tr)
+	delete(c.mshrs, l)
+	// Replay acks that outran the data.
+	if st := c.ackStash[l]; len(st) > 0 {
+		var rest []stashedAck
+		for _, a := range st {
+			if a.writer.SN == tr.storeSN && a.writer.PID == c.pid() {
+				c.applyInvAck(l, tr, a.from, a.warValid, a.warSrc, a.snap, a.pwq)
+			} else {
+				rest = append(rest, a)
+			}
+		}
+		if len(rest) == 0 {
+			delete(c.ackStash, l)
+		} else {
+			c.ackStash[l] = rest
+		}
+	}
+	c.maybeCompleteTracker(l, tr)
+	c.drainDeferred(l)
+}
+
+// onAckCount: the home tells the requester how many invalidation acks to
+// expect for an owner-transfer GetM.
+func (c *L1) onAckCount(l cache.Line, n int) {
+	for _, tr := range c.trackers[l] {
+		if tr.needed < 0 {
+			tr.needed = n
+			c.maybeCompleteTracker(l, tr)
+			return
+		}
+	}
+	c.ackCountStash[l] = append(c.ackCountStash[l], n)
+}
+
+// onInv: a remote store invalidates our copy. This is the moment that
+// store becomes performed with respect to this core.
+func (c *L1) onInv(l cache.Line, req noc.NodeID, writer AccessRef) {
+	obs := c.sys.obs
+	obs.OnStorePerformedWrt(writer, c.pid(), l)
+
+	var pwq PWQueryResult
+	if !c.sys.cfg.Atomic {
+		pwq = obs.QueryPWForLine(c.pid(), l)
+		if pwq.HasPerformedLoad {
+			obs.OnHoldPWEntry(c.pid(), pwq.LoadSN)
+		}
+	}
+
+	warValid := false
+	var warSrc AccessRef
+	var snap SrcSnap
+	if sn, ok := c.lastRead[l]; ok {
+		warValid = true
+		warSrc = AccessRef{PID: c.pid(), SN: sn}
+		snap = obs.SnapshotSource(c.pid(), sn)
+		obs.OnLocalSource(c.pid(), sn, false)
+	}
+	delete(c.lastRead, l)
+	delete(c.lineDeps, l)
+	delete(c.epochStores, l)
+	if ms, ok := c.mshrs[l]; ok && !ms.wantM {
+		ms.staleInv = true
+	}
+	if c.arr.Lookup(l) != cache.Invalid {
+		c.arr.Evict(l)
+		delete(c.data, l)
+	}
+	c.sys.mesh.Send(c.id, req, ctrlFlits, func() {
+		c.sys.l1s[req].onInvAck(l, c.id, writer, warValid, warSrc, snap, pwq)
+	})
+}
+
+// onInvAck: the writer collects an invalidation ack. Acks can outrun the
+// DataM that creates their tracker; those wait in the stash.
+func (c *L1) onInvAck(l cache.Line, from noc.NodeID, writer AccessRef,
+	warValid bool, warSrc AccessRef, snap SrcSnap, pwq PWQueryResult) {
+
+	tr := c.trackerFor(l, writer.SN)
+	if tr == nil {
+		c.ackStash[l] = append(c.ackStash[l], stashedAck{from, writer, warValid, warSrc, snap, pwq})
+		return
+	}
+	c.applyInvAck(l, tr, from, warValid, warSrc, snap, pwq)
+}
+
+func (c *L1) applyInvAck(l cache.Line, tr *ackTracker, from noc.NodeID,
+	warValid bool, warSrc AccessRef, snap SrcSnap, pwq PWQueryResult) {
+
+	tr.got++
+
+	// Section 3.2: if the invalidated sharer still holds a performed load
+	// to this line in its PW and the new value was already observed by a
+	// third processor, the non-atomicity is visible. The writer asks the
+	// sharer to log the old value it read, and this WAR does not create a
+	// chunk order.
+	logPath := false
+	if pwq.HasPerformedLoad {
+		if tr.newValObserved {
+			logPath = true
+			oldVal := pwq.OldValue
+			loadSN := pwq.LoadSN
+			c.sys.mesh.Send(c.id, from, ctrlFlits, func() {
+				peer := c.sys.l1s[from]
+				c.sys.obs.OnLogOldValue(peer.pid(), loadSN, l, oldVal)
+				c.sys.obs.OnReleasePWEntry(peer.pid(), loadSN)
+			})
+			c.count("nonatomic.value_logs")
+		} else {
+			// The "unnecessary message exchange" of Section 3.2: release
+			// the held PW entry without logging.
+			loadSN := pwq.LoadSN
+			c.sys.mesh.Send(c.id, from, ctrlFlits, func() {
+				c.sys.obs.OnReleasePWEntry(int(from), loadSN)
+			})
+			c.count("nonatomic.releases")
+		}
+	}
+	if warValid && !logPath {
+		// The WAR constrains every store performed on the line this
+		// epoch — the miss's own stores AND any hits that landed while
+		// the invalidations were in flight — plus all future hits (via
+		// lineDeps) until the line is lost.
+		war := Dependence{Kind: WAR, Src: warSrc, Snap: snap, Line: l}
+		delivered := false
+		for _, sn := range c.epochStores[l] {
+			war.Dst = AccessRef{PID: c.pid(), SN: sn, IsWrite: true}
+			c.sys.obs.OnDependence(war)
+			delivered = true
+		}
+		if !delivered {
+			// Line already lost: fall back to the tracker's stores.
+			for _, sw := range tr.stores {
+				war.Dst = AccessRef{PID: c.pid(), SN: sw.sn, IsWrite: true}
+				c.sys.obs.OnDependence(war)
+			}
+			for _, rw := range tr.rmws {
+				war.Dst = AccessRef{PID: c.pid(), SN: rw.sn, IsWrite: true}
+				c.sys.obs.OnDependence(war)
+			}
+		}
+		if _, live := c.lineDeps[l]; live || len(c.epochStores[l]) > 0 {
+			c.lineDeps[l] = append(c.lineDeps[l], Dependence{Kind: WAR, Src: warSrc, Snap: snap, Line: l})
+		}
+	}
+	c.maybeCompleteTracker(l, tr)
+}
+
+// incompleteTracker returns the line's pending ack epoch, if any.
+func (c *L1) incompleteTracker(l cache.Line) *ackTracker {
+	for _, tr := range c.trackers[l] {
+		if !tr.finished {
+			return tr
+		}
+	}
+	return nil
+}
+
+func (c *L1) trackerFor(l cache.Line, storeSN SN) *ackTracker {
+	for _, tr := range c.trackers[l] {
+		if tr.storeSN == storeSN {
+			return tr
+		}
+	}
+	return nil
+}
+
+func (c *L1) maybeCompleteTracker(l cache.Line, tr *ackTracker) {
+	if tr.finished || !tr.complete() {
+		return
+	}
+	tr.finished = true
+	for _, sw := range tr.stores {
+		sw.done()
+	}
+	for _, rw := range tr.rmws {
+		rw.done(rw.old, rw.applied)
+	}
+	if tr.unblockAtDone {
+		c.unblockHome(l)
+	}
+	list := c.trackers[l]
+	for i, t := range list {
+		if t == tr {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(c.trackers, l)
+	} else {
+		c.trackers[l] = list
+	}
+}
+
+func (c *L1) unblockHome(l cache.Line) {
+	home := c.sys.HomeNode(l)
+	c.sys.mesh.Send(c.id, home, ctrlFlits, func() {
+		c.sys.homeOf(l).onUnblock(l)
+	})
+}
+
+// onFwdGetS: we own the line dirty; a remote read wants it. Send the data
+// to the requester, a writeback copy to the home, and downgrade to S.
+func (c *L1) onFwdGetS(l cache.Line, req noc.NodeID, reqSN SN, homeID noc.NodeID) {
+	val, fromWB := c.ownedData(l)
+	if !fromWB {
+		c.arr.SetState(l, cache.Shared)
+	}
+	// A forwarded read during our own pending-ack window means the new
+	// value escaped before the store globally performed (non-atomic).
+	for _, tr := range c.trackers[l] {
+		if !tr.complete() {
+			tr.newValObserved = true
+		}
+	}
+	hasDep := false
+	var src AccessRef
+	var snap SrcSnap
+	if sn, ok := c.lastWrite[l]; ok {
+		hasDep = true
+		src = AccessRef{PID: c.pid(), SN: sn, IsWrite: true}
+		snap = c.sys.obs.SnapshotSource(c.pid(), sn)
+		c.sys.obs.OnLocalSource(c.pid(), sn, true)
+	}
+	out := make([]uint64, len(val))
+	copy(out, val)
+	c.sys.mesh.Send(c.id, req, dataFlits, func() {
+		c.sys.l1s[req].onDataFromOwner(l, out, hasDep, src, snap)
+	})
+	wb := make([]uint64, len(val))
+	copy(wb, val)
+	lwSN, lwValid := c.lastWrite[l], false
+	if _, ok := c.lastWrite[l]; ok {
+		lwValid = true
+	}
+	c.sys.mesh.Send(c.id, homeID, dataFlits, func() {
+		c.sys.homeOf(l).onWB(l, wb, c.id, lwValid, lwSN)
+	})
+}
+
+// onFwdGetM: we own the line; a remote write takes it. Hand the data and
+// ownership to the requester and invalidate ourselves.
+func (c *L1) onFwdGetM(l cache.Line, req noc.NodeID, reqSN SN, writer AccessRef) {
+	obs := c.sys.obs
+	obs.OnStorePerformedWrt(writer, c.pid(), l)
+
+	val, fromWB := c.ownedData(l)
+	var deps []Dependence
+	if sn, ok := c.lastWrite[l]; ok {
+		deps = append(deps, Dependence{
+			Kind: WAW,
+			Src:  AccessRef{PID: c.pid(), SN: sn, IsWrite: true},
+			Snap: obs.SnapshotSource(c.pid(), sn),
+			Line: l,
+		})
+		obs.OnLocalSource(c.pid(), sn, true)
+	}
+	if sn, ok := c.lastRead[l]; ok {
+		deps = append(deps, Dependence{
+			Kind: WAR,
+			Src:  AccessRef{PID: c.pid(), SN: sn},
+			Snap: obs.SnapshotSource(c.pid(), sn),
+			Line: l,
+		})
+		obs.OnLocalSource(c.pid(), sn, false)
+	}
+	delete(c.lastRead, l)
+	delete(c.lastWrite, l)
+	delete(c.lineDeps, l)
+	delete(c.epochStores, l)
+	if !fromWB && c.arr.Lookup(l) != cache.Invalid {
+		c.arr.Evict(l)
+		delete(c.data, l)
+	}
+	out := make([]uint64, len(val))
+	copy(out, val)
+	c.sys.mesh.Send(c.id, req, dataFlits, func() {
+		c.sys.l1s[req].onDataMFromOwner(l, out, deps)
+	})
+}
+
+// ownedData returns the line image we are responsible for: the cached
+// copy, or the writeback buffer if the line was just evicted.
+func (c *L1) ownedData(l cache.Line) (val []uint64, fromWB bool) {
+	if c.arr.Lookup(l) != cache.Invalid {
+		return c.lineData(l), false
+	}
+	if d, ok := c.wbBuf[l]; ok {
+		return d, true
+	}
+	panic(fmt.Sprintf("coherence: forward for line %#x we do not hold at %d", uint64(l), c.id))
+}
+
+// onPutAck: the home consumed our eviction writeback.
+func (c *L1) onPutAck(l cache.Line) {
+	delete(c.wbBuf, l)
+	c.drainDeferred(l)
+}
+
+// install fills a line, handling any dirty victim with a writeback.
+func (c *L1) install(l cache.Line, st cache.State, val []uint64) {
+	v, evicted := c.arr.Insert(l, st)
+	if evicted {
+		vd := c.data[v.Line]
+		if v.Dirty && v.State == cache.Modified && vd != nil {
+			data := make([]uint64, len(*vd))
+			copy(data, *vd)
+			c.wbBuf[v.Line] = data
+			vl := v.Line
+			// Carry the last local read so the directory can source the
+			// WAR to the next writer (the eviction silences this cache).
+			hasRead := false
+			var rd AccessRef
+			var rdSnap SrcSnap
+			if sn, ok := c.lastRead[vl]; ok {
+				// Keep the local entry too: a forward racing this
+				// writeback is served from wbBuf and still needs it.
+				hasRead = true
+				rd = AccessRef{PID: c.pid(), SN: sn}
+				rdSnap = c.sys.obs.SnapshotSource(c.pid(), sn)
+				c.sys.obs.OnLocalSource(c.pid(), sn, false)
+			}
+			lwSN, lwValid := c.lastWrite[vl], false
+			if _, ok := c.lastWrite[vl]; ok {
+				lwValid = true
+			}
+			home := c.sys.HomeNode(vl)
+			c.sys.mesh.Send(c.id, home, dataFlits, func() {
+				c.sys.homeOf(vl).onPutM(vl, c.id, data, true, hasRead, rd, rdSnap, lwValid, lwSN)
+			})
+			c.count("l1.writebacks")
+		}
+		delete(c.data, v.Line)
+		delete(c.lineDeps, v.Line)
+		delete(c.epochStores, v.Line)
+	}
+	nd := make([]uint64, len(val))
+	copy(nd, val)
+	c.data[l] = &nd
+}
+
+func (c *L1) drainDeferred(l cache.Line) {
+	// Requests deferred behind a writeback or an MSHR reissue once the
+	// line is quiet again. They re-enter through the public API so the
+	// normal hit/miss logic applies.
+	if _, busy := c.mshrs[l]; busy {
+		return
+	}
+	if _, wb := c.wbBuf[l]; wb {
+		return
+	}
+	q := c.deferred[l]
+	if len(q) == 0 {
+		return
+	}
+	delete(c.deferred, l)
+	for _, fn := range q {
+		fn()
+	}
+}
+
+func (c *L1) count(name string) {
+	if c.sys.stats != nil {
+		c.sys.stats.Inc(name, 1)
+	}
+}

@@ -1,0 +1,143 @@
+// Package coherence implements the distributed directory-based MESI
+// protocol of the simulated machine (Table 4): one directory bank per
+// tile (home = line mod tiles), a blocking home that serializes
+// transactions per line, three-hop forwarding for dirty lines, and
+// invalidation acknowledgements sent directly to the requester.
+//
+// The protocol supports two write-visibility modes:
+//
+//   - Atomic: a store's new value becomes readable by other processors
+//     only once the store is globally performed (all invalidation acks
+//     collected). The home stays blocked until then.
+//   - Non-atomic: the writer unblocks the home as soon as it has data and
+//     ownership; a subsequent read can be forwarded the new value while
+//     invalidations are still in flight, so one processor can observe the
+//     new value while another still reads the old one from its cache —
+//     the PowerPC/ARM behaviour of Figure 3(b) in the paper.
+//
+// The package reports every inter-processor data dependence (RAW, WAR,
+// WAW) to an Observer at the simulated time the dependence becomes known
+// at the destination, carrying a source-chunk snapshot taken at the
+// simulated time the source side served the request — exactly the
+// information a Karma-style recorder piggybacks on coherence messages.
+package coherence
+
+import "pacifier/internal/cache"
+
+// SN is a per-processor monotone sequence number assigned in program
+// order (Section 2.3.1 of the paper).
+type SN int64
+
+// AccessRef names one dynamic memory access.
+type AccessRef struct {
+	PID     int
+	SN      SN
+	IsWrite bool
+}
+
+// SrcSnap is the source-chunk information piggybacked on coherence
+// messages: the chunk that contained the source access and that chunk's
+// Lamport timestamp at the time the source side served the request.
+type SrcSnap struct {
+	Valid bool
+	PID   int
+	CID   int64
+	TS    int64
+}
+
+// DepKind classifies an inter-processor dependence edge.
+type DepKind uint8
+
+const (
+	RAW DepKind = iota // read-after-write: src store -> dst load
+	WAR                // write-after-read: src load  -> dst store
+	WAW                // write-after-write: src store -> dst store
+)
+
+func (k DepKind) String() string {
+	switch k {
+	case RAW:
+		return "RAW"
+	case WAR:
+		return "WAR"
+	case WAW:
+		return "WAW"
+	}
+	return "DEP?"
+}
+
+// Dependence is one inter-processor conflict edge src -> dst.
+type Dependence struct {
+	Kind DepKind
+	Src  AccessRef
+	Snap SrcSnap
+	Dst  AccessRef
+	Line cache.Line
+}
+
+// PWQueryResult is what an invalidated sharer reports about its pending
+// window: whether it holds a performed load to the invalidated line that
+// has not yet left the PW, and if so which one and what (old) value it
+// read. This powers the non-atomic write logging of Section 3.2.
+type PWQueryResult struct {
+	HasPerformedLoad bool
+	LoadSN           SN
+	OldValue         uint64
+}
+
+// Observer receives recording-relevant protocol events. The recorder
+// implements it; a no-op implementation is provided for raw machine runs.
+//
+// All methods are invoked at the simulated cycle the corresponding
+// message is processed, which is what makes the recorder's view of time
+// faithful to a hardware implementation.
+type Observer interface {
+	// SnapshotSource is called at the source side when it serves a
+	// request that forms a dependence whose source is (pid, sn).
+	SnapshotSource(pid int, sn SN) SrcSnap
+
+	// OnLocalSource is called at the source side when one of its accesses
+	// becomes the source of a dependence (used for MRPS maintenance).
+	OnLocalSource(pid int, sn SN, isWrite bool)
+
+	// OnDependence is called at the destination side when the dependence
+	// becomes known there (data or ack arrival).
+	OnDependence(d Dependence)
+
+	// QueryPWForLine is called at a sharer when it processes an
+	// invalidation: does the sharer hold a performed load to this line
+	// still in its pending window? (Section 3.2.)
+	QueryPWForLine(pid int, line cache.Line) PWQueryResult
+
+	// OnHoldPWEntry is called at the sharer when, per Section 3.2, it
+	// must keep the PW entry for loadSN alive until the writer's
+	// response arrives.
+	OnHoldPWEntry(pid int, loadSN SN)
+
+	// OnLogOldValue is called at the sharer when the writer asks it to
+	// log the stale value it read (the non-atomic write was observed).
+	OnLogOldValue(pid int, loadSN SN, line cache.Line, oldValue uint64)
+
+	// OnReleasePWEntry is called at the sharer when the writer's
+	// response (log or no-log) arrives, releasing the held PW entry.
+	OnReleasePWEntry(pid int, loadSN SN)
+
+	// OnStorePerformedWrt is called at the sharer side when a store by
+	// writer becomes performed with respect to sharerPID (its
+	// invalidation is processed there).
+	OnStorePerformedWrt(writer AccessRef, sharerPID int, line cache.Line)
+}
+
+// NopObserver ignores every event; used when running the bare machine.
+type NopObserver struct{}
+
+func (NopObserver) SnapshotSource(int, SN) SrcSnap                 { return SrcSnap{} }
+func (NopObserver) OnLocalSource(int, SN, bool)                    {}
+func (NopObserver) OnDependence(Dependence)                        {}
+func (NopObserver) QueryPWForLine(int, cache.Line) PWQueryResult   { return PWQueryResult{} }
+func (NopObserver) OnHoldPWEntry(int, SN)                          {}
+func (NopObserver) OnLogOldValue(int, SN, cache.Line, uint64)      {}
+func (NopObserver) OnReleasePWEntry(int, SN)                       {}
+func (NopObserver) OnStorePerformedWrt(AccessRef, int, cache.Line) {}
+
+var _ Observer = NopObserver{}

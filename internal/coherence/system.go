@@ -1,0 +1,148 @@
+package coherence
+
+import (
+	"pacifier/internal/cache"
+	"pacifier/internal/noc"
+	"pacifier/internal/sim"
+)
+
+// Addr aliases the cache package's byte address.
+type Addr = cache.Addr
+
+// Config describes the memory system of the simulated machine.
+type Config struct {
+	Nodes int // tiles: one core + L1 + one L2/directory bank each
+
+	// Atomic selects write atomicity (see the package comment). The
+	// paper's evaluation (Section 6.1) does not model non-atomic writes;
+	// set Atomic=false to exercise the Section 3.2 machinery.
+	Atomic bool
+
+	L1 cache.Config
+	L2 cache.Config
+
+	L1HitLat sim.Cycle // L1 round trip (Table 4: 2)
+	L2Lat    sim.Cycle // L2 bank access beyond the mesh (Table 4: ~11 round trip local)
+	MemLat   sim.Cycle // main memory round trip (Table 4: 200)
+}
+
+// DefaultConfig returns the Table 4 machine for n tiles.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:    n,
+		Atomic:   true,
+		L1:       cache.L1Config(),
+		L2:       cache.L2BankConfig(),
+		L1HitLat: 2,
+		L2Lat:    5,
+		MemLat:   200,
+	}
+}
+
+// System is the full memory hierarchy: per-tile L1 controllers and
+// directory/L2 home banks, connected by the mesh.
+type System struct {
+	cfg   Config
+	eng   *sim.Engine
+	mesh  *noc.Mesh
+	stats *sim.Stats
+	obs   Observer
+
+	l1s   []*L1
+	homes []*home
+
+	lineWords uint // words per line
+}
+
+// NewSystem builds the memory system. obs may be nil for a bare machine.
+func NewSystem(eng *sim.Engine, mesh *noc.Mesh, cfg Config, stats *sim.Stats, obs Observer) *System {
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	if cfg.Nodes != mesh.Nodes() {
+		panic("coherence: config/mesh node count mismatch")
+	}
+	s := &System{
+		cfg:       cfg,
+		eng:       eng,
+		mesh:      mesh,
+		stats:     stats,
+		obs:       obs,
+		lineWords: uint(cfg.L1.LineBytes / 8),
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		s.homes = append(s.homes, newHome(s, noc.NodeID(i)))
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		s.l1s = append(s.l1s, newL1(s, noc.NodeID(i)))
+	}
+	return s
+}
+
+// L1 returns the private cache controller of core pid.
+func (s *System) L1(pid int) *L1 { return s.l1s[pid] }
+
+// LineOf maps an address to its line.
+func (s *System) LineOf(a Addr) cache.Line { return s.l1s[0].arr.LineOf(a) }
+
+// homeOf returns the directory bank owning a line (address-interleaved).
+func (s *System) homeOf(l cache.Line) *home {
+	return s.homes[int(uint64(l)%uint64(s.cfg.Nodes))]
+}
+
+// HomeNode returns the tile id of the home bank for a line.
+func (s *System) HomeNode(l cache.Line) noc.NodeID {
+	return noc.NodeID(uint64(l) % uint64(s.cfg.Nodes))
+}
+
+// wordIdx returns the word-within-line index of a (word-aligned) address.
+func (s *System) wordIdx(a Addr) int {
+	return int((uint64(a) >> 3) & uint64(s.lineWords-1))
+}
+
+// ReadBacking returns the value of a word as stored at its home bank,
+// ignoring any dirty cached copies. Used by tests and by the final-state
+// verifier after Drain.
+func (s *System) ReadBacking(a Addr) uint64 {
+	l := s.LineOf(a)
+	return s.homeOf(l).data(l)[s.wordIdx(a)]
+}
+
+// ReadCoherent returns the current coherent value of a word: the owner's
+// copy if a dirty owner exists, else the home image. Simulation-side
+// helper (zero time); used by the functional verifier.
+func (s *System) ReadCoherent(a Addr) uint64 {
+	l := s.LineOf(a)
+	h := s.homeOf(l)
+	st := h.state(l)
+	if st.owner >= 0 {
+		if d, ok := s.l1s[st.owner].data[l]; ok {
+			return (*d)[s.wordIdx(a)]
+		}
+		if d, ok := s.l1s[st.owner].wbBuf[l]; ok {
+			return d[s.wordIdx(a)]
+		}
+	}
+	return h.data(l)[s.wordIdx(a)]
+}
+
+// Quiesced reports whether no coherence transaction is in flight anywhere.
+func (s *System) Quiesced() bool {
+	for _, h := range s.homes {
+		if h.busyCount > 0 {
+			return false
+		}
+	}
+	for _, c := range s.l1s {
+		if len(c.mshrs) > 0 || len(c.wbBuf) > 0 {
+			return false
+		}
+	}
+	return s.eng.Pending() == 0
+}
+
+// ctrl and data message sizes in flits.
+const (
+	ctrlFlits = 1
+	dataFlits = 5
+)

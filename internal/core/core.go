@@ -1,0 +1,317 @@
+// Package core is Pacifier end to end: it wires a workload into the
+// simulated machine, attaches one or more recorders (so that Karma, the
+// Volition oracle and Granule observe the *same* execution, as the
+// paper's comparisons require), runs the recording, and drives replay
+// with determinism verification.
+package core
+
+import (
+	"fmt"
+
+	"pacifier/internal/cache"
+	"pacifier/internal/coherence"
+	"pacifier/internal/cpu"
+	"pacifier/internal/machine"
+	"pacifier/internal/record"
+	"pacifier/internal/relog"
+	"pacifier/internal/replay"
+	"pacifier/internal/sim"
+	"pacifier/internal/trace"
+)
+
+// Options configures a recording run.
+type Options struct {
+	Seed        uint64
+	Atomic      bool  // write atomicity (the paper's evaluation: true)
+	MaxChunkOps int64 // chunk capacity bound
+	MaxCycles   sim.Cycle
+}
+
+// DefaultOptions returns the evaluation configuration of Section 6.1.
+func DefaultOptions() Options {
+	return Options{Seed: 1, Atomic: true, MaxChunkOps: 2048, MaxCycles: 200_000_000}
+}
+
+// Recording is the output of one recorder mode over a run.
+type Recording struct {
+	Mode     record.Mode
+	Log      *relog.Log
+	LogStats relog.Stats
+	LHBMax   int
+	PWMax    int
+}
+
+// RunResult is one recorded execution with one or more recordings.
+type RunResult struct {
+	Workload     *trace.Workload
+	Cores        int
+	NativeCycles sim.Cycle
+	MemOps       int64
+	Records      [][]cpu.ExecRecord
+	Recordings   []*Recording
+	Stats        *sim.Stats
+}
+
+// Recording returns the recording for the given mode (nil if absent).
+func (rr *RunResult) Recording(mode record.Mode) *Recording {
+	for _, r := range rr.Recordings {
+		if r.Mode == mode {
+			return r
+		}
+	}
+	return nil
+}
+
+// Record executes the workload once on the Table 4 machine and records
+// it simultaneously under every requested mode.
+func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, error) {
+	if len(modes) == 0 {
+		return nil, fmt.Errorf("core: no recorder modes requested")
+	}
+	n := len(w.Threads)
+	mcfg := machine.DefaultConfig(n)
+	mcfg.Seed = opts.Seed
+	mcfg.Mem.Atomic = opts.Atomic
+
+	// Build the machine first to get the shared engine, then the
+	// recorders, then attach the observer. machine.New needs the
+	// observer, so use a late-bound indirection.
+	fo := &fanout{}
+	m, err := machine.New(mcfg, w, fo)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]*record.Recorder, len(modes))
+	for i, mode := range modes {
+		rcfg := record.DefaultConfig(n, mode)
+		if opts.MaxChunkOps > 0 {
+			rcfg.MaxChunkOps = opts.MaxChunkOps
+		}
+		recs[i] = record.NewRecorder(rcfg, m.Eng, m.Stats)
+	}
+	fo.recs = recs
+	fo.snaps = make(map[int64][]coherence.SrcSnap)
+
+	limit := opts.MaxCycles
+	if limit <= 0 {
+		limit = 200_000_000
+	}
+	if err := m.Run(limit); err != nil {
+		return nil, err
+	}
+
+	rr := &RunResult{
+		Workload:     w,
+		Cores:        n,
+		NativeCycles: m.Cycles(),
+		MemOps:       m.TotalMemOps(),
+		Stats:        m.Stats,
+	}
+	for pid := 0; pid < n; pid++ {
+		rr.Records = append(rr.Records, m.Records(pid))
+	}
+	for i, mode := range modes {
+		log := recs[i].Finish()
+		rr.Recordings = append(rr.Recordings, &Recording{
+			Mode:     mode,
+			Log:      log,
+			LogStats: log.ComputeStats(),
+			LHBMax:   recs[i].MaxLHBAcrossCores(),
+			PWMax:    maxPW(recs[i], n),
+		})
+	}
+	return rr, nil
+}
+
+func maxPW(r *record.Recorder, n int) int {
+	m := 0
+	for pid := 0; pid < n; pid++ {
+		if v := r.PWMax(pid); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Replay replays the recording of the given mode and verifies it against
+// the recorded execution.
+func Replay(rr *RunResult, mode record.Mode, scanSeed uint64) (*replay.Result, error) {
+	rec := rr.Recording(mode)
+	if rec == nil {
+		return nil, fmt.Errorf("core: no recording for mode %v", mode)
+	}
+	return replay.Run(rec.Log, rr.Workload, rr.Records, replay.Config{ScanSeed: scanSeed})
+}
+
+// Slowdown returns the replay slowdown versus native execution for a
+// replay result of this run, as a fraction (0.12 = 12%).
+func (rr *RunResult) Slowdown(res *replay.Result) float64 {
+	if rr.NativeCycles == 0 {
+		return 0
+	}
+	return float64(res.Makespan)/float64(rr.NativeCycles) - 1
+}
+
+// LogOverhead returns the log-size increase of a recording over the
+// Karma recording of the same run, as a fraction (Figure 11's metric).
+// Both recordings must come from the same RunResult.
+func LogOverhead(karma, other *Recording) float64 {
+	if karma.LogStats.TotalBytes == 0 {
+		return 0
+	}
+	return float64(other.LogStats.TotalBytes)/float64(karma.LogStats.TotalBytes) - 1
+}
+
+// ---------------------------------------------------------------------
+// fanout: one machine, many recorders
+// ---------------------------------------------------------------------
+
+// fanout multiplexes machine events to several recorders. Each recorder
+// has its own chunk numbering and timestamps, so source snapshots (which
+// travel inside coherence messages) are captured per recorder at send
+// time, parked in a table, and re-split at delivery. Snapshot ids are
+// used exactly once: SnapshotSource is called once per dependence.
+type fanout struct {
+	recs   []*record.Recorder
+	snaps  map[int64][]coherence.SrcSnap
+	nextID int64
+}
+
+var _ machine.Observer = (*fanout)(nil)
+
+func (f *fanout) OnDispatch(pid int, sn cpu.SN, kind trace.OpKind, addr coherence.Addr) {
+	for _, r := range f.recs {
+		r.OnDispatch(pid, sn, kind, addr)
+	}
+}
+
+func (f *fanout) OnRetire(pid int, sn cpu.SN) {
+	for _, r := range f.recs {
+		r.OnRetire(pid, sn)
+	}
+}
+
+func (f *fanout) OnPerformed(pid int, sn cpu.SN) {
+	for _, r := range f.recs {
+		r.OnPerformed(pid, sn)
+	}
+}
+
+func (f *fanout) OnLoadValue(pid int, sn cpu.SN, addr coherence.Addr, val uint64) {
+	for _, r := range f.recs {
+		r.OnLoadValue(pid, sn, addr, val)
+	}
+}
+
+func (f *fanout) OnLoadForwarded(pid int, loadSN, storeSN cpu.SN, val uint64) {
+	for _, r := range f.recs {
+		r.OnLoadForwarded(pid, loadSN, storeSN, val)
+	}
+}
+
+func (f *fanout) OnIdle(pid int, cycles int64) {
+	for _, r := range f.recs {
+		r.OnIdle(pid, cycles)
+	}
+}
+
+func (f *fanout) SnapshotSource(pid int, sn coherence.SN) coherence.SrcSnap {
+	all := make([]coherence.SrcSnap, len(f.recs))
+	valid := false
+	for i, r := range f.recs {
+		all[i] = r.SnapshotSource(pid, sn)
+		valid = valid || all[i].Valid
+	}
+	if !valid {
+		return coherence.SrcSnap{}
+	}
+	f.nextID++
+	f.snaps[f.nextID] = all
+	return coherence.SrcSnap{Valid: true, PID: pid, CID: f.nextID}
+}
+
+func (f *fanout) OnDependence(d coherence.Dependence) {
+	// A snapshot can be used by several deliveries (every store of a
+	// miss epoch, every later cache hit on the line), so entries are
+	// kept for the lifetime of the run.
+	all, ok := f.snaps[d.Snap.CID]
+	if !ok {
+		return
+	}
+	for i, r := range f.recs {
+		d2 := d
+		d2.Snap = all[i]
+		r.OnDependence(d2)
+	}
+}
+
+func (f *fanout) OnLocalSource(pid int, sn coherence.SN, isWrite bool) {
+	for _, r := range f.recs {
+		r.OnLocalSource(pid, sn, isWrite)
+	}
+}
+
+func (f *fanout) QueryPWForLine(pid int, line cache.Line) coherence.PWQueryResult {
+	// PW contents are identical across recorders (same event stream);
+	// the first answers for all.
+	return f.recs[0].QueryPWForLine(pid, line)
+}
+
+func (f *fanout) OnHoldPWEntry(pid int, sn coherence.SN) {
+	for _, r := range f.recs {
+		r.OnHoldPWEntry(pid, sn)
+	}
+}
+
+func (f *fanout) OnLogOldValue(pid int, sn coherence.SN, line cache.Line, val uint64) {
+	for _, r := range f.recs {
+		r.OnLogOldValue(pid, sn, line, val)
+	}
+}
+
+func (f *fanout) OnReleasePWEntry(pid int, sn coherence.SN) {
+	for _, r := range f.recs {
+		r.OnReleasePWEntry(pid, sn)
+	}
+}
+
+func (f *fanout) OnStorePerformedWrt(w coherence.AccessRef, pid int, line cache.Line) {
+	for _, r := range f.recs {
+		r.OnStorePerformedWrt(w, pid, line)
+	}
+}
+
+// VerifyRoundTrip encodes and decodes a log and confirms the decoded
+// form replays identically — the full record → serialize → replay path.
+func VerifyRoundTrip(rr *RunResult, mode record.Mode) error {
+	rec := rr.Recording(mode)
+	if rec == nil {
+		return fmt.Errorf("core: no recording for mode %v", mode)
+	}
+	b := relog.EncodeLog(rec.Log)
+	decoded, err := relog.DecodeLog(b)
+	if err != nil {
+		return fmt.Errorf("core: decode: %w", err)
+	}
+	// Durations are not encoded; copy them so the timing model works.
+	for pid := 0; pid < decoded.Cores; pid++ {
+		orig := rec.Log.Chunks(pid)
+		dec := decoded.Chunks(pid)
+		if len(orig) != len(dec) {
+			return fmt.Errorf("core: core %d chunk count changed across encode (%d != %d)",
+				pid, len(orig), len(dec))
+		}
+		for i := range dec {
+			dec[i].Duration = orig[i].Duration
+		}
+	}
+	res, err := replay.Run(decoded, rr.Workload, rr.Records, replay.Config{})
+	if err != nil {
+		return err
+	}
+	if !res.Deterministic() {
+		return fmt.Errorf("core: decoded log replay diverged: %d mismatches, %d order breaks, %d leftover SSB",
+			res.MismatchCount, res.OrderBreaks, res.LeftoverSSB)
+	}
+	return nil
+}

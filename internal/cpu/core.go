@@ -1,0 +1,403 @@
+package cpu
+
+import (
+	"fmt"
+
+	"pacifier/internal/coherence"
+	"pacifier/internal/sim"
+	"pacifier/internal/trace"
+)
+
+// Config describes one core (Table 4 defaults via DefaultConfig).
+type Config struct {
+	Width      int // dispatch/retire width per cycle
+	Window     int // ROB entries
+	SBSize     int // store buffer entries
+	SBDelayMax int // extra randomized store drain delay, uniform [0, max]
+	MaxSBIssue int // stores concurrently in flight from the SB
+	SpinMin    int // acquire retry backoff range
+	SpinMax    int
+}
+
+// DefaultConfig returns the paper's core parameters: 4-issue, 128-entry
+// ROB, 32-entry store buffer with 0-50 cycle randomized delays.
+func DefaultConfig() Config {
+	return Config{
+		Width:      4,
+		Window:     128,
+		SBSize:     32,
+		SBDelayMax: 50,
+		MaxSBIssue: 4,
+		SpinMin:    40,
+		SpinMax:    120,
+	}
+}
+
+// inst is one window (ROB) entry.
+type inst struct {
+	op        trace.Op
+	sn        SN
+	performed bool
+	issued    bool
+	issuedAt  sim.Cycle // acquire: spin-time accounting
+}
+
+// sbEntry is one store-buffer entry.
+type sbEntry struct {
+	addr      coherence.Addr
+	val       uint64
+	sn        SN
+	release   bool
+	readyAt   sim.Cycle
+	issued    bool
+	completed bool
+}
+
+// fwdEntry supports store-to-load forwarding inside the core.
+type fwdEntry struct {
+	sn  SN
+	val uint64
+}
+
+// Core executes one thread's trace against its L1, reordering per RC.
+type Core struct {
+	pid  int
+	cfg  Config
+	eng  *sim.Engine
+	l1   *coherence.L1
+	obs  Observer
+	rng  *sim.RNG
+	hub  *BarrierHub
+	prog trace.Thread
+
+	pc          int
+	nextSN      SN
+	window      []*inst
+	sb          []*sbEntry
+	sbInFlight  int
+	busyUntil   sim.Cycle
+	atBarrier   bool
+	barrierFrom sim.Cycle
+
+	// forwarding: per word address, values of stores still buffered.
+	fwd map[coherence.Addr][]fwdEntry
+
+	recs []ExecRecord
+
+	retired        int64
+	performedLoads int64
+}
+
+// NewCore builds a core. rng must be a dedicated stream for this core.
+func NewCore(pid int, cfg Config, eng *sim.Engine, l1 *coherence.L1,
+	prog trace.Thread, hub *BarrierHub, obs Observer, rng *sim.RNG) *Core {
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	return &Core{
+		pid:  pid,
+		cfg:  cfg,
+		eng:  eng,
+		l1:   l1,
+		obs:  obs,
+		rng:  rng,
+		hub:  hub,
+		prog: prog,
+		fwd:  make(map[coherence.Addr][]fwdEntry),
+	}
+}
+
+// Done reports whether the core has fully executed and drained.
+func (c *Core) Done() bool {
+	return c.pc >= len(c.prog) && len(c.window) == 0 && len(c.sb) == 0
+}
+
+// Records returns the functional outcome of every memory operation, in
+// SN order (index sn-1).
+func (c *Core) Records() []ExecRecord { return c.recs }
+
+// Retired returns the number of retired memory operations.
+func (c *Core) Retired() int64 { return c.retired }
+
+// Step advances the core one cycle: retire from the window head, drain
+// the store buffer, and dispatch new operations. Work per cycle is
+// O(Width), which keeps 64-core simulations tractable.
+func (c *Core) Step(now sim.Cycle) {
+	c.retire(now)
+	c.drainSB(now)
+	c.dispatch(now)
+}
+
+// ---------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------
+
+func (c *Core) dispatch(now sim.Cycle) {
+	for n := 0; n < c.cfg.Width; n++ {
+		if c.atBarrier || now < c.busyUntil || c.pc >= len(c.prog) {
+			return
+		}
+		op := c.prog[c.pc]
+		switch op.Kind {
+		case trace.Compute:
+			c.busyUntil = now + sim.Cycle(op.Cycles)
+			c.pc++
+			return
+		case trace.Barrier:
+			// Full fence: wait for the window and SB to drain, then park.
+			if len(c.window) != 0 || len(c.sb) != 0 {
+				return
+			}
+			c.atBarrier = true
+			c.barrierFrom = now
+			c.pc++
+			id := op.ID
+			c.hub.Arrive(id, func() {
+				c.atBarrier = false
+				c.obs.OnIdle(c.pid, int64(c.eng.Now()-c.barrierFrom))
+			})
+			return
+		}
+		if len(c.window) >= c.cfg.Window {
+			return
+		}
+		c.pc++
+		c.nextSN++
+		in := &inst{op: op, sn: c.nextSN}
+		c.window = append(c.window, in)
+		c.recs = append(c.recs, ExecRecord{SN: in.sn, Kind: op.Kind, Addr: op.Addr})
+		c.obs.OnDispatch(c.pid, in.sn, op.Kind, op.Addr)
+		switch op.Kind {
+		case trace.Read:
+			c.tryIssueLoad(in)
+		case trace.Acquire:
+			c.tryIssueAcquire(in)
+		case trace.Write:
+			// Stores issue from the SB after retirement; register the
+			// value for store-to-load forwarding now.
+			v := StoreValue(c.pid, in.sn)
+			c.recs[in.sn-1].Value = v
+			c.fwd[op.Addr] = append(c.fwd[op.Addr], fwdEntry{in.sn, v})
+		case trace.Release:
+			c.recs[in.sn-1].Value = 0 // release writes zero (unlock)
+		}
+	}
+}
+
+// blockedByAcquire reports whether an older unperformed Acquire precedes
+// sn in the window (acquire semantics: younger ops do not issue).
+func (c *Core) blockedByAcquire(sn SN) bool {
+	for _, in := range c.window {
+		if in.sn >= sn {
+			return false
+		}
+		if in.op.Kind == trace.Acquire && !in.performed {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) tryIssueLoad(in *inst) {
+	if in.issued || in.performed {
+		return
+	}
+	if c.blockedByAcquire(in.sn) {
+		return // re-attempted when the acquire performs
+	}
+	// Store-to-load forwarding: youngest older buffered store to the
+	// same word wins.
+	if list := c.fwd[in.op.Addr]; len(list) > 0 {
+		var best *fwdEntry
+		for i := range list {
+			if list[i].sn < in.sn && (best == nil || list[i].sn > best.sn) {
+				best = &list[i]
+			}
+		}
+		if best != nil {
+			in.issued = true
+			c.obs.OnLoadForwarded(c.pid, in.sn, best.sn, best.val)
+			c.loadPerformed(in, best.val)
+			return
+		}
+	}
+	in.issued = true
+	c.l1.Load(in.op.Addr, in.sn, func(v uint64) { c.loadPerformed(in, v) })
+}
+
+func (c *Core) loadPerformed(in *inst, v uint64) {
+	in.performed = true
+	c.performedLoads++
+	c.recs[in.sn-1].Value = v
+	c.obs.OnLoadValue(c.pid, in.sn, in.op.Addr, v)
+	c.obs.OnPerformed(c.pid, in.sn)
+}
+
+func (c *Core) tryIssueAcquire(in *inst) {
+	if in.issued || in.performed {
+		return
+	}
+	if c.blockedByAcquire(in.sn) {
+		return
+	}
+	in.issued = true
+	in.issuedAt = c.eng.Now()
+	c.issueRMW(in)
+}
+
+func (c *Core) issueRMW(in *inst) {
+	c.l1.RMW(in.op.Addr, in.sn,
+		func(old uint64) (uint64, bool) { return 1, old == 0 },
+		func(old uint64, applied bool) {
+			if !applied {
+				// Lock busy: spin with randomized backoff.
+				backoff := sim.Cycle(c.rng.Range(c.cfg.SpinMin, c.cfg.SpinMax))
+				c.eng.After(backoff, func() { c.issueRMW(in) })
+				return
+			}
+			in.performed = true
+			c.recs[in.sn-1].Value = old
+			c.recs[in.sn-1].Applied = true
+			// Report lock-spin time beyond one round trip as idle:
+			// replay re-creates the waiting through chunk order, so
+			// counting it in chunk durations would serialize what the
+			// recording overlapped.
+			if waited := c.eng.Now() - in.issuedAt - 100; waited > 0 {
+				c.obs.OnIdle(c.pid, int64(waited))
+			}
+			c.obs.OnPerformed(c.pid, in.sn)
+			// Acquire performed: unblock younger deferred issue.
+			c.wakeAfterAcquire(in.sn)
+		})
+}
+
+// wakeAfterAcquire re-attempts issue for operations that were deferred
+// behind the acquire.
+func (c *Core) wakeAfterAcquire(sn SN) {
+	for _, in := range c.window {
+		if in.sn <= sn {
+			continue
+		}
+		switch in.op.Kind {
+		case trace.Read:
+			c.tryIssueLoad(in)
+		case trace.Acquire:
+			c.tryIssueAcquire(in)
+			if !in.performed {
+				// Still spinning or blocked: nothing younger may issue.
+				return
+			}
+		}
+		if in.op.Kind == trace.Acquire && !in.performed {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Retire
+// ---------------------------------------------------------------------
+
+func (c *Core) retire(now sim.Cycle) {
+	for n := 0; n < c.cfg.Width && len(c.window) > 0; n++ {
+		in := c.window[0]
+		switch in.op.Kind {
+		case trace.Read, trace.Acquire:
+			if !in.performed {
+				return
+			}
+		case trace.Write, trace.Release:
+			if len(c.sb) >= c.cfg.SBSize {
+				return // SB full: stall retirement
+			}
+			delay := sim.Cycle(0)
+			if c.cfg.SBDelayMax > 0 {
+				delay = sim.Cycle(c.rng.Intn(c.cfg.SBDelayMax + 1))
+			}
+			c.sb = append(c.sb, &sbEntry{
+				addr:    in.op.Addr,
+				val:     c.recs[in.sn-1].Value,
+				sn:      in.sn,
+				release: in.op.Kind == trace.Release,
+				readyAt: now + delay,
+			})
+		}
+		c.window = c.window[1:]
+		c.retired++
+		c.obs.OnRetire(c.pid, in.sn)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Store buffer
+// ---------------------------------------------------------------------
+
+func (c *Core) drainSB(now sim.Cycle) {
+	// Free completed entries from the head (FIFO deallocation).
+	for len(c.sb) > 0 && c.sb[0].completed {
+		c.sb = c.sb[1:]
+	}
+	if c.sbInFlight >= c.cfg.MaxSBIssue {
+		return
+	}
+	// Issue the oldest unissued entry (FIFO issue, out-of-order
+	// completion: this is where store-store reordering comes from).
+	for _, e := range c.sb {
+		if e.issued {
+			continue
+		}
+		if now < e.readyAt {
+			return
+		}
+		if e.release && !c.oldersComplete(e) {
+			// Release semantics: wait for all older stores to perform.
+			return
+		}
+		e.issued = true
+		c.sbInFlight++
+		entry := e
+		c.l1.Store(entry.addr, entry.val, entry.sn,
+			func() {},
+			func() {
+				entry.completed = true
+				c.sbInFlight--
+				c.storeGloballyPerformed(entry)
+			})
+		return // one issue per cycle
+	}
+}
+
+func (c *Core) oldersComplete(e *sbEntry) bool {
+	for _, o := range c.sb {
+		if o == e {
+			return true
+		}
+		if !o.completed {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) storeGloballyPerformed(e *sbEntry) {
+	// Remove the forwarding entry: the value is now in the memory system.
+	list := c.fwd[e.addr]
+	for i := range list {
+		if list[i].sn == e.sn {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(c.fwd, e.addr)
+	} else {
+		c.fwd[e.addr] = list
+	}
+	c.obs.OnPerformed(c.pid, e.sn)
+}
+
+// String summarizes core state for debugging deadlocks.
+func (c *Core) String() string {
+	return fmt.Sprintf("core%d{pc=%d/%d win=%d sb=%d barrier=%v}",
+		c.pid, c.pc, len(c.prog), len(c.window), len(c.sb), c.atBarrier)
+}

@@ -1,0 +1,74 @@
+// Package cpu models the processor cores of the simulated machine: a
+// trace-driven core with a dispatch window (ROB), out-of-order load
+// issue, a store buffer with randomized drain delays (Table 4: 32
+// entries, 0-50 extra cycles), and Release Consistency semantics —
+// acquires block younger issue, releases wait for older completion,
+// everything else reorders freely.
+//
+// The reorderings this core performs are exactly the ones the paper's
+// SCVs are made of: loads performing before older stores (Figure 1a) and
+// stores performing out of order (Figure 1b).
+package cpu
+
+import (
+	"pacifier/internal/coherence"
+	"pacifier/internal/trace"
+)
+
+// SN aliases the coherence package's sequence number.
+type SN = coherence.SN
+
+// Observer receives the core-side recording events: pending-window entry
+// (dispatch), counting point (retire), and perform events. The recorder
+// implements it together with coherence.Observer.
+type Observer interface {
+	// OnDispatch is called in program order when a memory operation
+	// enters the core's window — the PW insertion point.
+	OnDispatch(pid int, sn SN, kind trace.OpKind, addr coherence.Addr)
+	// OnRetire is called in program order when the operation retires —
+	// Pacifier's counting point (Section 3.3.1).
+	OnRetire(pid int, sn SN)
+	// OnPerformed is called when the operation is performed: loads when
+	// the value binds, stores when globally performed.
+	OnPerformed(pid int, sn SN)
+	// OnLoadValue reports the value a load bound (for D_set value logs).
+	OnLoadValue(pid int, sn SN, addr coherence.Addr, val uint64)
+	// OnLoadForwarded reports that the load received its value by
+	// store-to-load forwarding from the (still buffered) store storeSN.
+	// If that store is later delayed by Relog, the load's value must be
+	// logged so replay does not read stale memory.
+	OnLoadForwarded(pid int, loadSN, storeSN SN, val uint64)
+	// OnIdle reports cycles the core spent parked at a barrier. Replay
+	// timing excludes them from chunk durations: the replay scheduler
+	// re-creates the waiting through its own order constraints.
+	OnIdle(pid int, cycles int64)
+}
+
+// NopObserver ignores all events.
+type NopObserver struct{}
+
+func (NopObserver) OnDispatch(int, SN, trace.OpKind, coherence.Addr) {}
+func (NopObserver) OnRetire(int, SN)                                 {}
+func (NopObserver) OnPerformed(int, SN)                              {}
+func (NopObserver) OnLoadValue(int, SN, coherence.Addr, uint64)      {}
+func (NopObserver) OnLoadForwarded(int, SN, SN, uint64)              {}
+func (NopObserver) OnIdle(int, int64)                                {}
+
+var _ Observer = NopObserver{}
+
+// ExecRecord is the functional outcome of one memory operation, used by
+// the replay verifier: a load's bound value, a store's written value, or
+// an RMW's observed old value and whether it applied.
+type ExecRecord struct {
+	SN      SN
+	Kind    trace.OpKind
+	Addr    coherence.Addr
+	Value   uint64
+	Applied bool // RMW (Acquire) only
+}
+
+// StoreValue is the unique value core pid writes for its store sn,
+// making every write distinguishable during verification.
+func StoreValue(pid int, sn SN) uint64 {
+	return uint64(pid+1)<<40 | uint64(sn)
+}

@@ -1,0 +1,180 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pacifier/internal/sim"
+)
+
+func TestDimensions(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{1, 1, 1},
+		{2, 2, 1},
+		{4, 2, 2},
+		{16, 4, 4},
+		{32, 8, 4},
+		{64, 8, 8},
+		{12, 4, 3},
+		{7, 7, 1}, // prime degenerates to a line
+	}
+	for _, c := range cases {
+		w, h := Dimensions(c.n)
+		if w != c.w || h != c.h {
+			t.Errorf("Dimensions(%d) = (%d,%d), want (%d,%d)", c.n, w, h, c.w, c.h)
+		}
+	}
+}
+
+func newTestMesh(n int) (*sim.Engine, *Mesh) {
+	eng := sim.NewEngine()
+	return eng, New(eng, DefaultConfig(n), sim.NewStats())
+}
+
+func TestCoordRoundTrip(t *testing.T) {
+	_, m := newTestMesh(16)
+	seen := map[[2]int]bool{}
+	for i := 0; i < 16; i++ {
+		x, y := m.Coord(NodeID(i))
+		if x < 0 || x >= 4 || y < 0 || y >= 4 {
+			t.Fatalf("node %d at (%d,%d) outside 4x4", i, x, y)
+		}
+		if seen[[2]int{x, y}] {
+			t.Fatalf("coordinate collision at (%d,%d)", x, y)
+		}
+		seen[[2]int{x, y}] = true
+	}
+}
+
+func TestHopsSymmetricAndTriangle(t *testing.T) {
+	_, m := newTestMesh(16)
+	f := func(a, b, c uint8) bool {
+		na, nb, nc := NodeID(a%16), NodeID(b%16), NodeID(c%16)
+		if m.Hops(na, nb) != m.Hops(nb, na) {
+			return false
+		}
+		return m.Hops(na, nc) <= m.Hops(na, nb)+m.Hops(nb, nc)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHopsZeroSelf(t *testing.T) {
+	_, m := newTestMesh(32)
+	for i := 0; i < 32; i++ {
+		if m.Hops(NodeID(i), NodeID(i)) != 0 {
+			t.Fatalf("self-hops nonzero for node %d", i)
+		}
+	}
+}
+
+func TestDiameter(t *testing.T) {
+	for _, c := range []struct{ n, d int }{{16, 6}, {32, 10}, {64, 14}} {
+		_, m := newTestMesh(c.n)
+		if m.Diameter() != c.d {
+			t.Errorf("diameter(%d nodes) = %d, want %d", c.n, m.Diameter(), c.d)
+		}
+	}
+}
+
+func TestLatencyComposition(t *testing.T) {
+	_, m := newTestMesh(16)
+	// Node 0 = (0,0), node 5 = (1,1): 2 hops.
+	want := sim.Cycle(1 + 2*7 + 0)
+	if got := m.Latency(0, 5, 1); got != want {
+		t.Fatalf("Latency = %d, want %d", got, want)
+	}
+	// Extra flits cost serialization.
+	if got := m.Latency(0, 5, 3); got != want+2 {
+		t.Fatalf("3-flit latency = %d, want %d", got, want+2)
+	}
+	// Local messages pay only overhead.
+	if got := m.Latency(4, 4, 1); got != 1 {
+		t.Fatalf("local latency = %d, want 1", got)
+	}
+}
+
+func TestLatencyMonotoneInDistance(t *testing.T) {
+	_, m := newTestMesh(64)
+	f := func(a, b, c uint8) bool {
+		na, nb, nc := NodeID(a%64), NodeID(b%64), NodeID(c%64)
+		if m.Hops(na, nb) <= m.Hops(na, nc) {
+			return m.Latency(na, nb, 1) <= m.Latency(na, nc, 1)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendDelivers(t *testing.T) {
+	eng, m := newTestMesh(16)
+	var at sim.Cycle = -1
+	m.Send(0, 15, 1, func() { at = eng.Now() })
+	for i := 0; i < 100 && at < 0; i++ {
+		eng.Tick()
+	}
+	want := m.Latency(0, 15, 1)
+	if at != want {
+		t.Fatalf("delivered at %d, want %d", at, want)
+	}
+}
+
+func TestSendFIFOPerPair(t *testing.T) {
+	eng, m := newTestMesh(16)
+	var order []int
+	// A long message followed immediately by a short one on the same pair:
+	// the short one must not overtake.
+	m.Send(0, 15, 10, func() { order = append(order, 1) })
+	m.Send(0, 15, 1, func() { order = append(order, 2) })
+	for i := 0; i < 200; i++ {
+		eng.Tick()
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+}
+
+func TestSendDifferentPairsIndependent(t *testing.T) {
+	eng, m := newTestMesh(16)
+	var order []int
+	m.Send(0, 15, 10, func() { order = append(order, 1) }) // far, long
+	m.Send(0, 1, 1, func() { order = append(order, 2) })   // near, short
+	for i := 0; i < 200; i++ {
+		eng.Tick()
+	}
+	if len(order) != 2 || order[0] != 2 {
+		t.Fatalf("near message should arrive first: %v", order)
+	}
+}
+
+func TestSendStats(t *testing.T) {
+	eng := sim.NewEngine()
+	st := sim.NewStats()
+	m := New(eng, DefaultConfig(16), st)
+	m.Send(0, 3, 2, func() {})
+	if st.Get("noc.messages") != 1 || st.Get("noc.flits") != 2 {
+		t.Fatalf("stats not recorded: %s", st)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-node mesh did not panic")
+		}
+	}()
+	New(sim.NewEngine(), Config{Nodes: 0}, nil)
+}
+
+func TestCoordOutOfRangePanics(t *testing.T) {
+	_, m := newTestMesh(4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Coord did not panic")
+		}
+	}()
+	m.Coord(99)
+}

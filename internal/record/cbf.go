@@ -1,0 +1,61 @@
+package record
+
+import "pacifier/internal/cache"
+
+// CBF is the counting Bloom filter of Section 4.1: it summarizes the
+// line addresses present in the pending window so the recorder can skip
+// the associative PW search when checking the PMove-Bound condition and
+// the Section 3.2 invalidation queries. False positives cause a wasted
+// search; false negatives are impossible.
+type CBF struct {
+	counts []uint16
+	mask   uint64
+}
+
+// NewCBF builds a filter with the given number of counters (rounded up
+// to a power of two).
+func NewCBF(size int) *CBF {
+	n := 1
+	for n < size {
+		n <<= 1
+	}
+	return &CBF{counts: make([]uint16, n), mask: uint64(n - 1)}
+}
+
+// Two independent hash mixes of the line address.
+func (f *CBF) idx(l cache.Line) (uint64, uint64) {
+	x := uint64(l)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	h1 := x & f.mask
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	h2 := x & f.mask
+	return h1, h2
+}
+
+// Insert counts a PW entry for the line.
+func (f *CBF) Insert(l cache.Line) {
+	a, b := f.idx(l)
+	f.counts[a]++
+	f.counts[b]++
+}
+
+// Remove uncounts a PW entry. Removing a line that was never inserted
+// corrupts the filter; the recorder pairs calls with PW entry lifetime.
+func (f *CBF) Remove(l cache.Line) {
+	a, b := f.idx(l)
+	if f.counts[a] == 0 || f.counts[b] == 0 {
+		panic("record: CBF underflow")
+	}
+	f.counts[a]--
+	f.counts[b]--
+}
+
+// MaybeContains reports whether the line may be present (no false
+// negatives).
+func (f *CBF) MaybeContains(l cache.Line) bool {
+	a, b := f.idx(l)
+	return f.counts[a] > 0 && f.counts[b] > 0
+}

@@ -1,0 +1,147 @@
+package record
+
+import (
+	"pacifier/internal/cache"
+	"pacifier/internal/coherence"
+	"pacifier/internal/trace"
+)
+
+// SN aliases the global sequence number.
+type SN = coherence.SN
+
+// pwEntry is one pending-window slot (Section 2.3.1: instructions that
+// are not performed, or that have an older instruction not performed).
+type pwEntry struct {
+	sn        SN
+	line      cache.Line
+	addr      coherence.Addr
+	kind      trace.OpKind
+	performed bool
+	// held: Section 3.2 — the entry must stay in the PW until the
+	// writer's log/no-log response arrives.
+	held bool
+	// isSource: this access has been the source of a dependence (MRPS).
+	isSource bool
+	// mustLog: marked by R-All/R-Bound for unconditional Relog logging.
+	mustLog bool
+	// value: the bound load value (for D_set and Section 3.2 logs).
+	value uint64
+}
+
+// PendingWindow is a per-core FIFO of in-flight memory operations.
+// Entries enter at dispatch in program order and leave from the tail
+// once performed (and not held) — "completion" in the paper's terms.
+type PendingWindow struct {
+	entries []pwEntry
+	tailSN  SN // SN of entries[0]; next SN to dispatch is tailSN+len
+	cbf     *CBF
+	maxOcc  int
+}
+
+// NewPendingWindow builds a window with a CBF sized for the given
+// occupancy target (Table 4: PW size 256).
+func NewPendingWindow(cbfSize int) *PendingWindow {
+	return &PendingWindow{tailSN: 1, cbf: NewCBF(cbfSize * 4)}
+}
+
+// Dispatch appends the next instruction. SNs must be contiguous.
+func (p *PendingWindow) Dispatch(sn SN, kind trace.OpKind, addr coherence.Addr, line cache.Line) {
+	if sn != p.tailSN+SN(len(p.entries)) {
+		panic("record: PW dispatch out of order")
+	}
+	p.entries = append(p.entries, pwEntry{sn: sn, line: line, addr: addr, kind: kind})
+	p.cbf.Insert(line)
+	if len(p.entries) > p.maxOcc {
+		p.maxOcc = len(p.entries)
+	}
+}
+
+// Get returns the entry for sn, or nil if it already completed (or was
+// never dispatched).
+func (p *PendingWindow) Get(sn SN) *pwEntry {
+	i := int(sn - p.tailSN)
+	if i < 0 || i >= len(p.entries) {
+		return nil
+	}
+	return &p.entries[i]
+}
+
+// Len returns the occupancy; MaxOcc its high watermark.
+func (p *PendingWindow) Len() int    { return len(p.entries) }
+func (p *PendingWindow) MaxOcc() int { return p.maxOcc }
+
+// TailSN returns the SN of the oldest live entry; if the window is
+// empty it returns the next SN that would enter.
+func (p *PendingWindow) TailSN() SN { return p.tailSN }
+
+// OldestSN returns the oldest live SN and true, or (0, false) if empty.
+func (p *PendingWindow) OldestSN() (SN, bool) {
+	if len(p.entries) == 0 {
+		return 0, false
+	}
+	return p.tailSN, true
+}
+
+// Drain removes completed entries from the tail: performed and not held.
+// It returns the new tail SN (first still-live SN).
+func (p *PendingWindow) Drain() SN {
+	i := 0
+	for i < len(p.entries) && p.entries[i].performed && !p.entries[i].held {
+		p.cbf.Remove(p.entries[i].line)
+		i++
+	}
+	if i > 0 {
+		p.entries = append(p.entries[:0:0], p.entries[i:]...)
+		p.tailSN += SN(i)
+	}
+	return p.tailSN
+}
+
+// HasOlderUnperformed reports whether any entry older than sn is not yet
+// performed (the R-All reordering test).
+func (p *PendingWindow) HasOlderUnperformed(sn SN) bool {
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.sn >= sn {
+			return false
+		}
+		if !e.performed {
+			return true
+		}
+	}
+	return false
+}
+
+// YoungestPerformedSource returns the largest SN of a performed entry
+// marked as a dependence source — the MRPS register's value — or 0.
+func (p *PendingWindow) YoungestPerformedSource() SN {
+	for i := len(p.entries) - 1; i >= 0; i-- {
+		e := &p.entries[i]
+		if e.performed && e.isSource {
+			return e.sn
+		}
+	}
+	return 0
+}
+
+// FindPerformedLoad returns the youngest performed load to the given
+// line (Section 3.2 query), gated by the CBF.
+func (p *PendingWindow) FindPerformedLoad(line cache.Line) (sn SN, val uint64, ok bool) {
+	if !p.cbf.MaybeContains(line) {
+		return 0, 0, false
+	}
+	for i := len(p.entries) - 1; i >= 0; i-- {
+		e := &p.entries[i]
+		if e.line == line && e.kind == trace.Read && e.performed {
+			return e.sn, e.value, true
+		}
+	}
+	return 0, 0, false
+}
+
+// Range calls fn for each live entry with tail <= sn <= head.
+func (p *PendingWindow) Range(fn func(e *pwEntry)) {
+	for i := range p.entries {
+		fn(&p.entries[i])
+	}
+}

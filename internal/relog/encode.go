@@ -1,0 +1,258 @@
+package relog
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire format (per chunk):
+//
+//	uvarint  size            (EndSN - StartSN + 1)
+//	varint   ts delta        (TS - previous chunk's TS)
+//	uvarint  #preds, then per pred: uvarint PID, varint CID delta
+//	uvarint  #dset, then per entry:
+//	         uvarint offset, byte flags(IsLoad), [8B value if load],
+//	         uvarint #pred, per pred uvarint PID + uvarint CID
+//	uvarint  #pset, then per entry: uvarint cid-delta-back, uvarint offset
+//	uvarint  #vlog, then per entry: uvarint offset, 8B value
+//
+// The Karma baseline is the same stream without the dset/pset/vlog
+// sections (their three zero-count varints are charged to Karma too, so
+// the comparison is conservative toward Karma).
+
+func putUvarint(buf []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func putVarint(buf []byte, v int64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	return append(buf, tmp[:n]...)
+}
+
+func put64(buf []byte, v uint64) []byte {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], v)
+	return append(buf, tmp[:]...)
+}
+
+// EncodeChunk serializes one chunk given the previous chunk's TS and CID
+// on the same core (for delta encoding).
+func EncodeChunk(c *Chunk, prevTS, prevCID int64) []byte {
+	var b []byte
+	b = encodeBase(b, c, prevTS)
+	b = encodeSets(b, c, prevCID)
+	return b
+}
+
+func encodeBase(b []byte, c *Chunk, prevTS int64) []byte {
+	b = putUvarint(b, uint64(c.Size()))
+	b = putVarint(b, c.TS-prevTS)
+	b = putUvarint(b, uint64(len(c.Preds)))
+	for _, p := range c.Preds {
+		b = putUvarint(b, uint64(p.PID))
+		b = putVarint(b, p.CID)
+	}
+	return b
+}
+
+func encodeSets(b []byte, c *Chunk, prevCID int64) []byte {
+	b = putUvarint(b, uint64(len(c.DSet)))
+	for _, d := range c.DSet {
+		b = putUvarint(b, uint64(d.Offset))
+		flags := byte(0)
+		if d.IsLoad {
+			flags = 1
+		}
+		b = append(b, flags)
+		if d.IsLoad {
+			b = put64(b, d.Value)
+		}
+		b = putUvarint(b, uint64(len(d.Pred)))
+		for _, p := range d.Pred {
+			b = putUvarint(b, uint64(p.PID))
+			b = putVarint(b, p.CID)
+		}
+	}
+	b = putUvarint(b, uint64(len(c.PSet)))
+	for _, p := range c.PSet {
+		// Delayed stores reference a recent chunk: encode distance back.
+		b = putVarint(b, prevCID-p.SrcCID)
+		b = putUvarint(b, uint64(p.Offset))
+	}
+	b = putUvarint(b, uint64(len(c.VLog)))
+	for _, v := range c.VLog {
+		b = putUvarint(b, uint64(v.Offset))
+		b = put64(b, v.Value)
+	}
+	return b
+}
+
+// encodedSizes returns the Karma-equivalent and full byte counts.
+func encodedSizes(c *Chunk, prevTS, prevCID int64) (base, full int64) {
+	bb := encodeBase(nil, c, prevTS)
+	// Karma also pays the three empty-section counters (one byte each).
+	base = int64(len(bb)) + 3
+	full = int64(len(encodeSets(bb, c, prevCID)))
+	return base, full
+}
+
+// decoder reads the wire format back.
+type decoder struct {
+	b   []byte
+	pos int
+	err error
+}
+
+func (d *decoder) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("relog: truncated uvarint at %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.b[d.pos:])
+	if n <= 0 {
+		d.err = fmt.Errorf("relog: truncated varint at %d", d.pos)
+		return 0
+	}
+	d.pos += n
+	return v
+}
+
+func (d *decoder) byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos >= len(d.b) {
+		d.err = fmt.Errorf("relog: truncated byte at %d", d.pos)
+		return 0
+	}
+	v := d.b[d.pos]
+	d.pos++
+	return v
+}
+
+func (d *decoder) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.pos+8 > len(d.b) {
+		d.err = fmt.Errorf("relog: truncated u64 at %d", d.pos)
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(d.b[d.pos:])
+	d.pos += 8
+	return v
+}
+
+// DecodeChunk parses one chunk, given the same context used to encode.
+// startSN is derived from the previous chunk's EndSN.
+func DecodeChunk(b []byte, pid int, cid int64, prevTS, prevCID int64, startSN SN) (*Chunk, int, error) {
+	d := &decoder{b: b}
+	c := &Chunk{PID: pid, CID: cid, StartSN: startSN}
+	size := d.uvarint()
+	c.EndSN = startSN + SN(size) - 1
+	c.TS = prevTS + d.varint()
+	np := d.uvarint()
+	for i := uint64(0); i < np; i++ {
+		c.Preds = append(c.Preds, ChunkRef{PID: int(d.uvarint()), CID: d.varint()})
+	}
+	nd := d.uvarint()
+	for i := uint64(0); i < nd; i++ {
+		var e DEntry
+		e.Offset = int32(d.uvarint())
+		e.IsLoad = d.byte()&1 != 0
+		if e.IsLoad {
+			e.Value = d.u64()
+		}
+		npred := d.uvarint()
+		for j := uint64(0); j < npred; j++ {
+			e.Pred = append(e.Pred, ChunkRef{PID: int(d.uvarint()), CID: d.varint()})
+		}
+		c.DSet = append(c.DSet, e)
+	}
+	ns := d.uvarint()
+	for i := uint64(0); i < ns; i++ {
+		back := d.varint()
+		c.PSet = append(c.PSet, PEntry{SrcCID: prevCID - back, Offset: int32(d.uvarint())})
+	}
+	nv := d.uvarint()
+	for i := uint64(0); i < nv; i++ {
+		c.VLog = append(c.VLog, VEntry{Offset: int32(d.uvarint()), Value: d.u64()})
+	}
+	return c, d.pos, d.err
+}
+
+// EncodeLog serializes a complete log (length-prefixed per-core chunk
+// streams). Used by the CLI to persist recordings.
+func EncodeLog(l *Log) []byte {
+	var b []byte
+	b = putUvarint(b, uint64(l.Cores))
+	for pid := 0; pid < l.Cores; pid++ {
+		seq := l.PerCore[pid]
+		b = putUvarint(b, uint64(len(seq)))
+		var prevTS, prevCID int64
+		for _, c := range seq {
+			cb := EncodeChunk(c, prevTS, prevCID)
+			b = putUvarint(b, uint64(len(cb)))
+			b = append(b, cb...)
+			prevTS, prevCID = c.TS, c.CID
+		}
+	}
+	return b
+}
+
+// DecodeLog parses EncodeLog output.
+func DecodeLog(b []byte) (*Log, error) {
+	d := &decoder{b: b}
+	n := int(d.uvarint())
+	if d.err != nil {
+		return nil, d.err
+	}
+	if n <= 0 || n > 1<<16 {
+		return nil, fmt.Errorf("relog: implausible core count %d", n)
+	}
+	l := NewLog(n)
+	for pid := 0; pid < n; pid++ {
+		cnt := int(d.uvarint())
+		var prevTS, prevCID int64
+		startSN := SN(1)
+		for i := 0; i < cnt; i++ {
+			ln := int(d.uvarint())
+			if d.err != nil {
+				return nil, d.err
+			}
+			if d.pos+ln > len(d.b) {
+				return nil, fmt.Errorf("relog: truncated chunk on core %d", pid)
+			}
+			c, used, err := DecodeChunk(d.b[d.pos:d.pos+ln], pid, int64(i), prevTS, prevCID, startSN)
+			if err != nil {
+				return nil, err
+			}
+			if used != ln {
+				return nil, fmt.Errorf("relog: chunk length mismatch on core %d (%d != %d)", pid, used, ln)
+			}
+			d.pos += ln
+			prevTS, prevCID = c.TS, c.CID
+			startSN = c.EndSN + 1
+			l.Append(c)
+		}
+	}
+	if d.err != nil {
+		return nil, d.err
+	}
+	return l, nil
+}

@@ -1,0 +1,157 @@
+// Package relog defines Pacifier's log contents and wire encoding: the
+// chunk DAG of a Karma-style recorder plus Relog's reordering records —
+// D_set (instructions to skip during a chunk's replay), P_set
+// (compensation entries executed before a later chunk), Pred (remote
+// chunks a delayed instruction must follow), and the Section 3.2
+// old-value logs for observed non-atomic writes.
+//
+// The encoding is a compact varint format so that log-size comparisons
+// (Figure 11) measure something real. Chunk replay-timing metadata
+// (Duration) is simulation-side bookkeeping and is excluded from the
+// byte counts, mirroring the paper where replay timing comes from
+// re-execution rather than the log.
+package relog
+
+import (
+	"fmt"
+
+	"pacifier/internal/coherence"
+	"pacifier/internal/sim"
+)
+
+// SN aliases the global sequence-number type.
+type SN = coherence.SN
+
+// ChunkRef identifies a chunk globally.
+type ChunkRef struct {
+	PID int
+	CID int64
+}
+
+// DEntry is one D_set element: an instruction of this chunk that must be
+// skipped during the chunk's replay because the original execution
+// delayed it past the chunk boundary (Section 3.3.2).
+type DEntry struct {
+	Offset int32 // SN - StartSN within the owning chunk
+	IsLoad bool
+	// Value is the recorded load value (loads cannot be re-executed "in
+	// the future", so the log overrules memory during replay).
+	Value uint64
+	// Pred lists the remote chunks this instruction must follow.
+	Pred []ChunkRef
+}
+
+// PEntry is one P_set element: a delayed store (sitting in the simulated
+// store buffer) that must execute before the owning chunk starts.
+type PEntry struct {
+	SrcCID int64 // chunk whose D_set holds the store
+	Offset int32
+}
+
+// VEntry is a value log: a load whose value must be overruled during
+// replay — either it observed the stale side of a non-atomic write
+// (Section 3.2) or it forwarded from a store that Relog delayed. Unlike
+// a DEntry it implies no reordering.
+type VEntry struct {
+	Offset int32
+	Value  uint64
+}
+
+// VEntrySN is a value log keyed by absolute SN, used recorder-side
+// while the owning chunk's placement is still undecided.
+type VEntrySN struct {
+	SN    SN
+	Value uint64
+}
+
+// Chunk is one recorded chunk.
+type Chunk struct {
+	PID     int
+	CID     int64
+	StartSN SN
+	EndSN   SN
+	TS      int64 // scalar Lamport timestamp (Karma ordering)
+	Preds   []ChunkRef
+	DSet    []DEntry
+	PSet    []PEntry
+	VLog    []VEntry
+
+	// Duration is the recorded execution time of the chunk, used by the
+	// replay timing model. NOT part of the encoded log.
+	Duration sim.Cycle
+}
+
+// Size returns the number of memory operations in the chunk.
+func (c *Chunk) Size() int64 { return int64(c.EndSN - c.StartSN + 1) }
+
+// Contains reports whether sn falls inside the chunk.
+func (c *Chunk) Contains(sn SN) bool { return sn >= c.StartSN && sn <= c.EndSN }
+
+// Log is a complete recording: one chunk sequence per core.
+type Log struct {
+	Cores   int
+	PerCore [][]*Chunk
+}
+
+// NewLog allocates an empty log for n cores.
+func NewLog(n int) *Log {
+	return &Log{Cores: n, PerCore: make([][]*Chunk, n)}
+}
+
+// Append adds a chunk to its core's sequence. Chunks must arrive in CID
+// order per core.
+func (l *Log) Append(c *Chunk) {
+	if c.PID < 0 || c.PID >= l.Cores {
+		panic(fmt.Sprintf("relog: chunk PID %d out of range", c.PID))
+	}
+	seq := l.PerCore[c.PID]
+	if len(seq) > 0 && seq[len(seq)-1].CID >= c.CID {
+		panic(fmt.Sprintf("relog: chunk CIDs out of order on core %d (%d then %d)",
+			c.PID, seq[len(seq)-1].CID, c.CID))
+	}
+	l.PerCore[c.PID] = append(l.PerCore[c.PID], c)
+}
+
+// Chunks returns core pid's chunk sequence.
+func (l *Log) Chunks(pid int) []*Chunk { return l.PerCore[pid] }
+
+// TotalChunks counts all chunks.
+func (l *Log) TotalChunks() int {
+	n := 0
+	for _, seq := range l.PerCore {
+		n += len(seq)
+	}
+	return n
+}
+
+// Stats summarizes a log's contents.
+type Stats struct {
+	Chunks     int
+	DEntries   int
+	PEntries   int
+	VEntries   int
+	PredEdges  int
+	BaseBytes  int64 // Karma-equivalent bytes (chunk skeleton only)
+	TotalBytes int64 // full Pacifier bytes (with D/P/V sets)
+}
+
+// ComputeStats sizes the log under the wire encoding.
+func (l *Log) ComputeStats() Stats {
+	var s Stats
+	for _, seq := range l.PerCore {
+		var prevTS int64
+		var prevCID int64
+		for _, c := range seq {
+			s.Chunks++
+			s.DEntries += len(c.DSet)
+			s.PEntries += len(c.PSet)
+			s.VEntries += len(c.VLog)
+			s.PredEdges += len(c.Preds)
+			base, full := encodedSizes(c, prevTS, prevCID)
+			s.BaseBytes += base
+			s.TotalBytes += full
+			prevTS, prevCID = c.TS, c.CID
+		}
+	}
+	return s
+}

@@ -1,0 +1,204 @@
+package relog
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"pacifier/internal/sim"
+)
+
+func sampleChunk(pid int, cid int64, start SN) *Chunk {
+	return &Chunk{
+		PID:     pid,
+		CID:     cid,
+		StartSN: start,
+		EndSN:   start + 99,
+		TS:      cid*3 + 7,
+		Preds:   []ChunkRef{{PID: 1, CID: 4}, {PID: 2, CID: 9}},
+		DSet: []DEntry{
+			{Offset: 5, IsLoad: true, Value: 0xdeadbeef, Pred: []ChunkRef{{PID: 3, CID: 2}}},
+			{Offset: 17, IsLoad: false, Pred: []ChunkRef{{PID: 0, CID: 1}, {PID: 1, CID: 2}}},
+		},
+		PSet: []PEntry{{SrcCID: cid - 1, Offset: 17}},
+		VLog: []VEntry{{Offset: 30, Value: 42}},
+	}
+}
+
+func TestChunkRoundTrip(t *testing.T) {
+	c := sampleChunk(0, 5, 101)
+	b := EncodeChunk(c, 3, 4)
+	got, used, err := DecodeChunk(b, 0, 5, 3, 4, 101)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used != len(b) {
+		t.Fatalf("decoder consumed %d of %d bytes", used, len(b))
+	}
+	c.Duration = 0 // Duration is not encoded
+	if !reflect.DeepEqual(c, got) {
+		t.Fatalf("round trip mismatch:\n enc %+v\n dec %+v", c, got)
+	}
+}
+
+func TestEmptyChunkRoundTrip(t *testing.T) {
+	c := &Chunk{PID: 2, CID: 0, StartSN: 1, EndSN: 1, TS: 0}
+	b := EncodeChunk(c, 0, 0)
+	got, _, err := DecodeChunk(b, 2, 0, 0, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 1 || len(got.DSet) != 0 || len(got.Preds) != 0 {
+		t.Fatalf("empty chunk decoded as %+v", got)
+	}
+}
+
+func TestChunkRoundTripProperty(t *testing.T) {
+	f := func(size uint16, ts int32, preds uint8, doff []uint16, vals []uint64) bool {
+		c := &Chunk{PID: 1, CID: 7, StartSN: 50, EndSN: 50 + SN(size%1000), TS: int64(ts)}
+		for i := 0; i < int(preds%5); i++ {
+			c.Preds = append(c.Preds, ChunkRef{PID: i, CID: int64(i * 2)})
+		}
+		for i, off := range doff {
+			if i >= 8 {
+				break
+			}
+			e := DEntry{Offset: int32(off % 1000)}
+			if i < len(vals) {
+				e.IsLoad = true
+				e.Value = vals[i]
+			}
+			c.DSet = append(c.DSet, e)
+		}
+		b := EncodeChunk(c, -9, 3)
+		got, used, err := DecodeChunk(b, 1, 7, -9, 3, 50)
+		if err != nil || used != len(b) {
+			return false
+		}
+		return reflect.DeepEqual(c, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLogAppendOrdering(t *testing.T) {
+	l := NewLog(2)
+	l.Append(sampleChunk(0, 0, 1))
+	l.Append(sampleChunk(0, 1, 101))
+	l.Append(sampleChunk(1, 0, 1))
+	if l.TotalChunks() != 3 || len(l.Chunks(0)) != 2 || len(l.Chunks(1)) != 1 {
+		t.Fatal("append bookkeeping wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order CID not rejected")
+		}
+	}()
+	l.Append(sampleChunk(0, 1, 201))
+}
+
+func TestLogAppendBadPIDPanics(t *testing.T) {
+	l := NewLog(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad PID not rejected")
+		}
+	}()
+	l.Append(sampleChunk(5, 0, 1))
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	l := NewLog(3)
+	start := []SN{1, 1, 1}
+	for pid := 0; pid < 3; pid++ {
+		for cid := int64(0); cid < 4; cid++ {
+			c := sampleChunk(pid, cid, start[pid])
+			start[pid] = c.EndSN + 1
+			l.Append(c)
+		}
+	}
+	b := EncodeLog(l)
+	got, err := DecodeLog(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Cores != 3 || got.TotalChunks() != 12 {
+		t.Fatalf("decoded %d cores %d chunks", got.Cores, got.TotalChunks())
+	}
+	for pid := 0; pid < 3; pid++ {
+		for i, c := range l.Chunks(pid) {
+			g := got.Chunks(pid)[i]
+			c2 := *c
+			c2.Duration = 0
+			if !reflect.DeepEqual(&c2, g) {
+				t.Fatalf("core %d chunk %d mismatch\n %+v\n %+v", pid, i, &c2, g)
+			}
+		}
+	}
+}
+
+func TestDecodeLogRejectsGarbage(t *testing.T) {
+	if _, err := DecodeLog([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := DecodeLog(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	l := NewLog(1)
+	l.Append(sampleChunk(0, 0, 1))
+	b := EncodeLog(l)
+	for cut := 1; cut < len(b); cut += 7 {
+		if _, err := DecodeLog(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	l := NewLog(1)
+	c := sampleChunk(0, 0, 1)
+	l.Append(c)
+	s := l.ComputeStats()
+	if s.Chunks != 1 || s.DEntries != 2 || s.PEntries != 1 || s.VEntries != 1 || s.PredEdges != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.BaseBytes <= 0 || s.TotalBytes <= s.BaseBytes {
+		t.Fatalf("byte accounting wrong: %+v", s)
+	}
+}
+
+func TestStatsKarmaEqualsTotalWithoutSets(t *testing.T) {
+	l := NewLog(1)
+	c := &Chunk{PID: 0, CID: 0, StartSN: 1, EndSN: 64, TS: 2,
+		Preds: []ChunkRef{{PID: 1, CID: 0}}}
+	l.Append(c)
+	s := l.ComputeStats()
+	if s.BaseBytes != s.TotalBytes {
+		t.Fatalf("no-reordering chunk should cost the same as Karma: %+v", s)
+	}
+}
+
+func TestChunkContains(t *testing.T) {
+	c := &Chunk{StartSN: 10, EndSN: 20}
+	if !c.Contains(10) || !c.Contains(20) || c.Contains(9) || c.Contains(21) {
+		t.Fatal("Contains boundaries wrong")
+	}
+	if c.Size() != 11 {
+		t.Fatalf("Size = %d", c.Size())
+	}
+}
+
+func TestDurationExcludedFromBytes(t *testing.T) {
+	a := sampleChunk(0, 0, 1)
+	b := sampleChunk(0, 0, 1)
+	b.Duration = sim.Cycle(999999)
+	ea := EncodeChunk(a, 0, 0)
+	eb := EncodeChunk(b, 0, 0)
+	if len(ea) != len(eb) {
+		t.Fatal("Duration leaked into the encoding")
+	}
+}

@@ -1,0 +1,427 @@
+// Package replay deterministically re-executes a recorded run from its
+// Pacifier log (Section 4.3). Chunks execute atomically in an order
+// consistent with the recorded chunk DAG; D_set loads take their values
+// from the log, D_set stores are parked in the simulated store buffer
+// (SSB) and execute at their P_set positions after their predecessor
+// chunks complete; VLog loads overrule memory with logged values.
+//
+// The replayer also verifies determinism: every replayed load, store and
+// RMW outcome is compared against the recorded execution. A correct
+// Pacifier log replays with zero mismatches even for executions
+// containing SCVs; a Karma log of a relaxed-consistency execution
+// generally does not — the paper's motivating observation.
+//
+// Timing: each chunk carries its recorded duration; a chunk starts after
+// its program-order predecessor and all logged predecessors finish (plus
+// a mesh wake-up latency), which yields the replay makespan compared
+// against native execution time (Figure 12).
+package replay
+
+import (
+	"fmt"
+
+	"pacifier/internal/coherence"
+	"pacifier/internal/cpu"
+	"pacifier/internal/noc"
+	"pacifier/internal/relog"
+	"pacifier/internal/sim"
+	"pacifier/internal/trace"
+)
+
+// SN aliases the global sequence number.
+type SN = coherence.SN
+
+// DebugStuck, when set by tests, observes scheduler deadlocks.
+var DebugStuck func(log *relog.Log, cursor []int, done map[relog.ChunkRef]bool, ssb map[string][]relog.ChunkRef)
+
+// Mismatch is one divergence between replay and recording.
+type Mismatch struct {
+	PID     int
+	SN      SN
+	Kind    trace.OpKind
+	Addr    coherence.Addr
+	Got     uint64
+	Want    uint64
+	Comment string
+}
+
+func (m Mismatch) String() string {
+	return fmt.Sprintf("core %d sn %d %s @%#x: got %d want %d %s",
+		m.PID, m.SN, m.Kind, uint64(m.Addr), m.Got, m.Want, m.Comment)
+}
+
+// Result summarizes a replay.
+type Result struct {
+	OpsReplayed int64
+	// Mismatches holds up to 32 divergences; MismatchCount is the total.
+	Mismatches    []Mismatch
+	MismatchCount int64
+	// OrderBreaks counts chunks force-started despite unsatisfied
+	// predecessors (only possible when the log cannot represent the
+	// execution — e.g. Karma under RC).
+	OrderBreaks int64
+	// LeftoverSSB counts delayed stores never claimed by a P_set (a log
+	// defect); they are flushed at the end.
+	LeftoverSSB int64
+	// Makespan is the modeled parallel replay time; Native the recorded
+	// execution time, as passed by the caller.
+	Makespan sim.Cycle
+	// ChunksReplayed counts executed chunks.
+	ChunksReplayed int64
+	// StallCycles is the summed wake-up waiting time across cores.
+	StallCycles int64
+}
+
+// Deterministic reports whether the replay reproduced the recording
+// exactly.
+func (r *Result) Deterministic() bool {
+	return r.MismatchCount == 0 && r.OrderBreaks == 0 && r.LeftoverSSB == 0
+}
+
+// Config parameterizes a replay.
+type Config struct {
+	// Mesh supplies wake-up latencies between replay cores.
+	Mesh noc.Config
+	// ScanSeed perturbs the scheduler's scan order among *ready* chunks.
+	// Any seed must produce identical values — a property the tests use.
+	ScanSeed uint64
+}
+
+// ssbKey identifies a delayed store.
+type ssbKey struct {
+	pid    int
+	cid    int64
+	offset int32
+}
+
+// ssbEntry is a parked delayed store.
+type ssbEntry struct {
+	op    trace.Op
+	sn    SN
+	preds []relog.ChunkRef
+}
+
+// replayer is the working state.
+type replayer struct {
+	cfg      Config
+	log      *relog.Log
+	memOps   [][]trace.Op // per core, memory ops in SN order
+	expected [][]cpu.ExecRecord
+	mem      map[coherence.Addr]uint64
+	mesh     *noc.Mesh
+
+	cursor    []int // next chunk index per core
+	chunkEnd  map[relog.ChunkRef]sim.Cycle
+	done      map[relog.ChunkRef]bool
+	ssb       map[ssbKey]ssbEntry
+	coreClock []sim.Cycle
+	res       *Result
+	rng       *sim.RNG
+}
+
+// Run replays log against the workload it was recorded from, comparing
+// with the recorded outcomes. expected[pid][sn-1] must be the recorded
+// ExecRecord (pass nil to skip verification).
+func Run(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecord, cfg Config) (*Result, error) {
+	res, _, err := RunWithMemory(log, w, expected, cfg)
+	return res, err
+}
+
+// schedule runs the ready-chunk loop until all chunks executed. If no
+// chunk is ready (the log's order constraints are unsatisfiable), the
+// chunk with the smallest timestamp is force-started and the break is
+// counted.
+func (r *replayer) schedule() {
+	remaining := r.log.TotalChunks()
+	for remaining > 0 {
+		progress := false
+		start := 0
+		if r.log.Cores > 1 {
+			start = r.rng.Intn(r.log.Cores)
+		}
+		for k := 0; k < r.log.Cores; k++ {
+			pid := (start + k) % r.log.Cores
+			for r.cursor[pid] < len(r.log.Chunks(pid)) &&
+				r.ready(r.log.Chunks(pid)[r.cursor[pid]]) {
+				r.execute(r.log.Chunks(pid)[r.cursor[pid]], false)
+				r.cursor[pid]++
+				remaining--
+				progress = true
+			}
+		}
+		if progress {
+			continue
+		}
+		// Stuck: the recorded DAG cannot be satisfied (e.g. Karma log of
+		// an execution with SCVs). Break the order deterministically at
+		// the smallest-timestamp stalled chunk.
+		if DebugStuck != nil {
+			DebugStuck(r.log, r.cursor, r.done, r.ssbView())
+		}
+		var victim *relog.Chunk
+		for pid := 0; pid < r.log.Cores; pid++ {
+			if r.cursor[pid] >= len(r.log.Chunks(pid)) {
+				continue
+			}
+			c := r.log.Chunks(pid)[r.cursor[pid]]
+			if victim == nil || c.TS < victim.TS || (c.TS == victim.TS && c.PID < victim.PID) {
+				victim = c
+			}
+		}
+		if victim == nil {
+			panic("replay: accounting error: chunks remain but none found")
+		}
+		r.res.OrderBreaks++
+		r.execute(victim, true)
+		r.cursor[victim.PID]++
+		remaining--
+	}
+}
+
+// ssbView renders the SSB for debugging.
+func (r *replayer) ssbView() map[string][]relog.ChunkRef {
+	out := map[string][]relog.ChunkRef{}
+	for k, e := range r.ssb {
+		out[fmt.Sprintf("p%d/c%d/o%d", k.pid, k.cid, k.offset)] = e.preds
+	}
+	return out
+}
+
+// ready reports whether every order constraint of the chunk is met.
+func (r *replayer) ready(c *relog.Chunk) bool {
+	for _, p := range c.Preds {
+		if !r.done[p] {
+			return false
+		}
+	}
+	for _, pe := range c.PSet {
+		e, ok := r.ssb[ssbKey{c.PID, pe.SrcCID, pe.Offset}]
+		if !ok {
+			// Source chunk not executed yet (P_set always references an
+			// earlier chunk of the same core, so this means not ready).
+			return false
+		}
+		for _, p := range e.preds {
+			if !r.done[p] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// execute replays one chunk atomically: P_set compensation stores first,
+// then the body with D_set skips and VLog overrides.
+func (r *replayer) execute(c *relog.Chunk, forced bool) {
+	ref := relog.ChunkRef{PID: c.PID, CID: c.CID}
+	// Timing: start after the po-predecessor and all chunk preds (+wake).
+	startAt := r.coreClock[c.PID]
+	wake := func(srcPID int) sim.Cycle {
+		return r.mesh.Latency(noc.NodeID(srcPID), noc.NodeID(c.PID), 1)
+	}
+	for _, p := range c.Preds {
+		if end, ok := r.chunkEnd[p]; ok {
+			if t := end + wake(p.PID); t > startAt {
+				startAt = t
+			}
+		}
+	}
+	for _, pe := range c.PSet {
+		if e, ok := r.ssb[ssbKey{c.PID, pe.SrcCID, pe.Offset}]; ok {
+			for _, p := range e.preds {
+				if end, ok2 := r.chunkEnd[p]; ok2 {
+					if t := end + wake(p.PID); t > startAt {
+						startAt = t
+					}
+				}
+			}
+		}
+	}
+	r.res.StallCycles += int64(startAt - r.coreClock[c.PID])
+
+	// Functional: compensation stores.
+	for _, pe := range c.PSet {
+		key := ssbKey{c.PID, pe.SrcCID, pe.Offset}
+		e, ok := r.ssb[key]
+		if !ok {
+			r.mismatch(Mismatch{PID: c.PID, Comment: fmt.Sprintf("P_set entry (cid=%d off=%d) has no SSB store", pe.SrcCID, pe.Offset)})
+			continue
+		}
+		delete(r.ssb, key)
+		r.applyStore(c.PID, e.sn, e.op)
+	}
+
+	// Body.
+	dset := map[int32]*relog.DEntry{}
+	for i := range c.DSet {
+		dset[c.DSet[i].Offset] = &c.DSet[i]
+	}
+	vlog := map[int32]uint64{}
+	for _, v := range c.VLog {
+		vlog[v.Offset] = v.Value
+	}
+	for sn := c.StartSN; sn <= c.EndSN; sn++ {
+		op := r.memOps[c.PID][sn-1]
+		off := int32(sn - c.StartSN)
+		r.res.OpsReplayed++
+		if d, ok := dset[off]; ok {
+			if d.IsLoad {
+				// The log overrules memory: the load executed "in the
+				// future" during recording.
+				r.check(c.PID, sn, op, d.Value, true)
+			} else {
+				// Delayed store: park in the SSB until a P_set claims it.
+				r.ssb[ssbKey{c.PID, c.CID, off}] = ssbEntry{op: op, sn: sn, preds: d.Pred}
+			}
+			continue
+		}
+		if v, ok := vlog[off]; ok && op.Kind == trace.Read {
+			r.check(c.PID, sn, op, v, true)
+			continue
+		}
+		switch op.Kind {
+		case trace.Read:
+			r.check(c.PID, sn, op, r.mem[op.Addr], false)
+		case trace.Write, trace.Release:
+			r.applyStore(c.PID, sn, op)
+		case trace.Acquire:
+			old := r.mem[op.Addr]
+			applied := old == 0
+			if applied {
+				r.mem[op.Addr] = 1
+			}
+			r.checkRMW(c.PID, sn, op, old, applied)
+		}
+	}
+	r.res.ChunksReplayed++
+	end := startAt + c.Duration
+	r.coreClock[c.PID] = end
+	r.chunkEnd[ref] = end
+	r.done[ref] = true
+	_ = forced
+}
+
+func (r *replayer) applyStore(pid int, sn SN, op trace.Op) {
+	switch op.Kind {
+	case trace.Write:
+		r.mem[op.Addr] = cpu.StoreValue(pid, sn)
+	case trace.Release:
+		r.mem[op.Addr] = 0
+	default:
+		panic("replay: applyStore on non-store")
+	}
+}
+
+// check compares a replayed load value with the recording.
+func (r *replayer) check(pid int, sn SN, op trace.Op, got uint64, fromLog bool) {
+	if r.expected == nil {
+		return
+	}
+	want := r.expected[pid][sn-1].Value
+	if got != want {
+		comment := "(memory)"
+		if fromLog {
+			comment = "(from log)"
+		}
+		r.mismatch(Mismatch{PID: pid, SN: sn, Kind: op.Kind, Addr: op.Addr,
+			Got: got, Want: want, Comment: comment})
+	}
+}
+
+func (r *replayer) checkRMW(pid int, sn SN, op trace.Op, old uint64, applied bool) {
+	if r.expected == nil {
+		return
+	}
+	rec := r.expected[pid][sn-1]
+	if old != rec.Value || applied != rec.Applied {
+		r.mismatch(Mismatch{PID: pid, SN: sn, Kind: op.Kind, Addr: op.Addr,
+			Got: old, Want: rec.Value,
+			Comment: fmt.Sprintf("(rmw applied=%v want %v)", applied, rec.Applied)})
+	}
+}
+
+func (r *replayer) mismatch(m Mismatch) {
+	r.res.MismatchCount++
+	if len(r.res.Mismatches) < 32 {
+		r.res.Mismatches = append(r.res.Mismatches, m)
+	}
+}
+
+// flushSSB executes any delayed stores never claimed by a P_set, so the
+// final memory image is complete; each is counted as a log defect.
+func (r *replayer) flushSSB() {
+	if len(r.ssb) == 0 {
+		return
+	}
+	keys := make([]ssbKey, 0, len(r.ssb))
+	for k := range r.ssb {
+		keys = append(keys, k)
+	}
+	// Deterministic order.
+	for i := 0; i < len(keys); i++ {
+		for j := i + 1; j < len(keys); j++ {
+			a, b := keys[i], keys[j]
+			if b.pid < a.pid || (b.pid == a.pid && (b.cid < a.cid || (b.cid == a.cid && b.offset < a.offset))) {
+				keys[i], keys[j] = keys[j], keys[i]
+			}
+		}
+	}
+	for _, k := range keys {
+		e := r.ssb[k]
+		r.applyStore(k.pid, e.sn, e.op)
+		r.res.LeftoverSSB++
+	}
+}
+
+// FinalMemory is returned by RunWithMemory for final-state comparison.
+type FinalMemory map[coherence.Addr]uint64
+
+// RunWithMemory is Run but also returns the final memory image.
+func RunWithMemory(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecord, cfg Config) (*Result, FinalMemory, error) {
+	if len(w.Threads) != log.Cores {
+		return nil, nil, fmt.Errorf("replay: workload has %d threads, log has %d cores",
+			len(w.Threads), log.Cores)
+	}
+	r := &replayer{
+		cfg:       cfg,
+		log:       log,
+		expected:  expected,
+		mem:       make(map[coherence.Addr]uint64),
+		cursor:    make([]int, log.Cores),
+		chunkEnd:  make(map[relog.ChunkRef]sim.Cycle),
+		done:      make(map[relog.ChunkRef]bool),
+		ssb:       make(map[ssbKey]ssbEntry),
+		coreClock: make([]sim.Cycle, log.Cores),
+		res:       &Result{},
+		rng:       sim.NewRNG(cfg.ScanSeed ^ 0xeb5),
+	}
+	if cfg.Mesh.Nodes == 0 {
+		r.cfg.Mesh = noc.DefaultConfig(log.Cores)
+	}
+	r.mesh = noc.New(sim.NewEngine(), r.cfg.Mesh, nil)
+	for pid, th := range w.Threads {
+		var ops []trace.Op
+		for _, op := range th {
+			switch op.Kind {
+			case trace.Read, trace.Write, trace.Acquire, trace.Release:
+				ops = append(ops, op)
+			}
+		}
+		r.memOps = append(r.memOps, ops)
+		if chunks := log.Chunks(pid); len(chunks) > 0 {
+			last := chunks[len(chunks)-1]
+			if int(last.EndSN) != len(ops) {
+				return nil, nil, fmt.Errorf("replay: core %d log covers SN 1..%d but workload has %d memory ops",
+					pid, last.EndSN, len(ops))
+			}
+		}
+	}
+	r.schedule()
+	r.flushSSB()
+	for _, c := range r.coreClock {
+		if c > r.res.Makespan {
+			r.res.Makespan = c
+		}
+	}
+	return r.res, FinalMemory(r.mem), nil
+}

@@ -1,0 +1,145 @@
+// Package scvd implements SCV (Sequential Consistency Violation)
+// detection. Its centerpiece is a precise, Volition-style cycle detector
+// over the access-level dependence graph [Qian et al., ASPLOS'13],
+// which the paper uses as the hypothetical oracle ("Vol") that Granule
+// is compared against (Sections 3.5.3 and 5.2, Figures 11-13).
+//
+// The detector maintains inter-processor dependence edges between
+// dynamic accesses and answers, for each new edge src -> dst, whether it
+// closes a cycle together with program order — the definition of an SCV
+// (Section 2.1). Like Volition's Active Table, edges are pruned once
+// their source access leaves the processor's pending window ("race
+// clearance", Table 3).
+package scvd
+
+import (
+	"sort"
+
+	"pacifier/internal/coherence"
+)
+
+// SN aliases the global sequence number type.
+type SN = coherence.SN
+
+// Access names one dynamic access.
+type Access struct {
+	PID int
+	SN  SN
+}
+
+// edge is one dependence whose source is on a particular core.
+type edge struct {
+	srcSN SN
+	dst   Access
+}
+
+// Volition is the precise detector.
+type Volition struct {
+	n int
+	// edges[pid] holds d-edges whose source is on core pid, sorted by
+	// source SN.
+	edges [][]edge
+	// horizon[pid]: sources below this SN have been cleared.
+	horizon []SN
+
+	// scratch for DFS: bestVisited[pid] is the smallest SN visited on
+	// that core during the current query (visiting (p, s) subsumes any
+	// later visit (p, s') with s' >= s, since program order lets the
+	// search reach everything s can from s').
+	bestVisited []SN
+
+	cycles   int64
+	depsSeen int64
+}
+
+// NewVolition creates a detector for n cores.
+func NewVolition(n int) *Volition {
+	v := &Volition{
+		n:           n,
+		edges:       make([][]edge, n),
+		horizon:     make([]SN, n),
+		bestVisited: make([]SN, n),
+	}
+	return v
+}
+
+// Cycles returns how many SCV cycles have been detected.
+func (v *Volition) Cycles() int64 { return v.cycles }
+
+// Deps returns how many dependences have been fed in.
+func (v *Volition) Deps() int64 { return v.depsSeen }
+
+// AddDep records dependence src -> dst and reports whether it closes a
+// cycle (an SCV). The edge is recorded either way.
+func (v *Volition) AddDep(src, dst Access) bool {
+	v.depsSeen++
+	cycle := false
+	if src.PID != dst.PID {
+		cycle = v.pathExists(dst, src)
+	}
+	es := v.edges[src.PID]
+	i := sort.Search(len(es), func(i int) bool { return es[i].srcSN >= src.SN })
+	es = append(es, edge{})
+	copy(es[i+1:], es[i:])
+	es[i] = edge{srcSN: src.SN, dst: dst}
+	v.edges[src.PID] = es
+	if cycle {
+		v.cycles++
+	}
+	return cycle
+}
+
+// pathExists reports whether target is reachable from start following
+// program order (earlier -> later on one core) and recorded d-edges.
+// Reaching any access on target's core at or before target.SN counts:
+// program order completes the path.
+func (v *Volition) pathExists(start, target Access) bool {
+	for i := range v.bestVisited {
+		v.bestVisited[i] = SN(1) << 60 // "not visited"
+	}
+	return v.dfs(start, target)
+}
+
+func (v *Volition) dfs(cur, target Access) bool {
+	if cur.PID == target.PID && cur.SN <= target.SN {
+		return true
+	}
+	if cur.SN >= v.bestVisited[cur.PID] {
+		return false // subsumed by an earlier visit
+	}
+	v.bestVisited[cur.PID] = cur.SN
+	// Successors: every d-edge leaving this core at or after cur.SN
+	// (program order cur -> source, then the d-edge).
+	es := v.edges[cur.PID]
+	i := sort.Search(len(es), func(i int) bool { return es[i].srcSN >= cur.SN })
+	for ; i < len(es); i++ {
+		if v.dfs(es[i].dst, target) {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear discards edges whose source SN on core pid is below belowSN —
+// the access left the pending window, so it can no longer participate
+// in a cycle that matters for recording (Volition's race clearance).
+func (v *Volition) Clear(pid int, belowSN SN) {
+	if belowSN <= v.horizon[pid] {
+		return
+	}
+	v.horizon[pid] = belowSN
+	es := v.edges[pid]
+	i := sort.Search(len(es), func(i int) bool { return es[i].srcSN >= belowSN })
+	if i > 0 {
+		v.edges[pid] = append(es[:0:0], es[i:]...)
+	}
+}
+
+// EdgeCount returns the live edge count (for occupancy tests).
+func (v *Volition) EdgeCount() int {
+	n := 0
+	for _, es := range v.edges {
+		n += len(es)
+	}
+	return n
+}

@@ -1,0 +1,103 @@
+package sim
+
+import "container/heap"
+
+// Cycle is a point in simulated time. The whole machine shares one clock.
+type Cycle int64
+
+// Event is a callback scheduled to run at a given cycle.
+type Event struct {
+	At  Cycle
+	Fn  func()
+	seq uint64 // insertion order, breaks ties deterministically
+}
+
+// eventHeap orders events by (At, seq) so that simultaneous events run in
+// insertion order — a requirement for deterministic simulation.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler with a monotone clock. Components
+// that step every cycle (the cores) register as Steppers; sporadic work
+// (message deliveries, timer expirations) is posted as events.
+type Engine struct {
+	now     Cycle
+	events  eventHeap
+	nextSeq uint64
+	stepper []Stepper
+}
+
+// Stepper is a component clocked every cycle, in registration order.
+type Stepper interface {
+	Step(now Cycle)
+}
+
+// NewEngine returns an engine at cycle 0 with no pending events.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Register adds a per-cycle stepper. Steppers run before same-cycle
+// events, in registration order.
+func (e *Engine) Register(s Stepper) {
+	e.stepper = append(e.stepper, s)
+}
+
+// After schedules fn to run delay cycles from now. A zero delay runs at
+// the end of the current cycle (after all steppers).
+func (e *Engine) After(delay Cycle, fn func()) {
+	if delay < 0 {
+		panic("sim: negative event delay")
+	}
+	e.nextSeq++
+	heap.Push(&e.events, &Event{At: e.now + delay, Fn: fn, seq: e.nextSeq})
+}
+
+// Pending reports the number of queued events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Tick advances the clock one cycle: all steppers step, then every event
+// scheduled at (or before) the new current cycle runs in order.
+func (e *Engine) Tick() {
+	for _, s := range e.stepper {
+		s.Step(e.now)
+	}
+	for len(e.events) > 0 && e.events[0].At <= e.now {
+		ev := heap.Pop(&e.events).(*Event)
+		ev.Fn()
+	}
+	e.now++
+}
+
+// RunUntil ticks until pred returns true or limit cycles elapse. It
+// returns true if pred was satisfied. The limit guards against deadlocked
+// simulations in tests.
+func (e *Engine) RunUntil(pred func() bool, limit Cycle) bool {
+	for e.now < limit {
+		if pred() {
+			return true
+		}
+		e.Tick()
+	}
+	return pred()
+}

@@ -1,0 +1,213 @@
+package sim
+
+import "testing"
+
+func TestEngineEventOrderByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(5, func() { order = append(order, 5) })
+	e.After(2, func() { order = append(order, 2) })
+	e.After(9, func() { order = append(order, 9) })
+	for i := 0; i < 20; i++ {
+		e.Tick()
+	}
+	if len(order) != 3 || order[0] != 2 || order[1] != 5 || order[2] != 9 {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func TestEngineTieBreakByInsertion(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(3, func() { order = append(order, i) })
+	}
+	for i := 0; i < 5; i++ {
+		e.Tick()
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-break violated: order=%v", order)
+		}
+	}
+}
+
+func TestEngineZeroDelayRunsSameCycle(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(0, func() { ran = true })
+	e.Tick()
+	if !ran {
+		t.Fatal("zero-delay event did not run on the current cycle")
+	}
+}
+
+func TestEngineEventsCanScheduleEvents(t *testing.T) {
+	e := NewEngine()
+	var got Cycle = -1
+	e.After(1, func() {
+		e.After(4, func() { got = e.Now() })
+	})
+	for i := 0; i < 10; i++ {
+		e.Tick()
+	}
+	if got != 5 {
+		t.Fatalf("chained event ran at %d, want 5", got)
+	}
+}
+
+func TestEngineChainedZeroDelaySameCycle(t *testing.T) {
+	e := NewEngine()
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 3 {
+			e.After(0, rec)
+		}
+	}
+	e.After(2, rec)
+	e.Tick()
+	e.Tick()
+	e.Tick() // cycle 2: the whole chain should drain
+	if depth != 3 {
+		t.Fatalf("depth = %d, want 3 (zero-delay chain must drain within the cycle)", depth)
+	}
+}
+
+type countStepper struct {
+	n     int
+	cycle []Cycle
+}
+
+func (c *countStepper) Step(now Cycle) {
+	c.n++
+	c.cycle = append(c.cycle, now)
+}
+
+func TestEngineSteppersRunEveryCycle(t *testing.T) {
+	e := NewEngine()
+	s := &countStepper{}
+	e.Register(s)
+	for i := 0; i < 7; i++ {
+		e.Tick()
+	}
+	if s.n != 7 {
+		t.Fatalf("stepper ran %d times, want 7", s.n)
+	}
+	for i, c := range s.cycle {
+		if c != Cycle(i) {
+			t.Fatalf("stepper saw cycle %d at tick %d", c, i)
+		}
+	}
+}
+
+func TestEngineSteppersBeforeEvents(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Register(stepFunc(func(Cycle) { order = append(order, "step") }))
+	e.After(0, func() { order = append(order, "event") })
+	e.Tick()
+	if len(order) != 2 || order[0] != "step" || order[1] != "event" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+type stepFunc func(Cycle)
+
+func (f stepFunc) Step(now Cycle) { f(now) }
+
+func TestEngineNegativeDelayPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative delay did not panic")
+		}
+	}()
+	NewEngine().After(-1, func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine()
+	done := false
+	e.After(10, func() { done = true })
+	if !e.RunUntil(func() bool { return done }, 100) {
+		t.Fatal("RunUntil missed the event")
+	}
+	if e.Now() < 10 || e.Now() > 12 {
+		t.Fatalf("clock at %d after RunUntil", e.Now())
+	}
+}
+
+func TestRunUntilLimit(t *testing.T) {
+	e := NewEngine()
+	if e.RunUntil(func() bool { return false }, 50) {
+		t.Fatal("RunUntil reported success for an unsatisfiable predicate")
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock at %d, want 50", e.Now())
+	}
+}
+
+func TestPending(t *testing.T) {
+	e := NewEngine()
+	e.After(1, func() {})
+	e.After(2, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	e.Tick()
+	e.Tick()
+	e.Tick()
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	s := NewStats()
+	s.Inc("a", 3)
+	s.Inc("a", 4)
+	s.Inc("b", 1)
+	if s.Get("a") != 7 || s.Get("b") != 1 || s.Get("missing") != 0 {
+		t.Fatalf("counter values wrong: a=%d b=%d", s.Get("a"), s.Get("b"))
+	}
+}
+
+func TestStatsGaugeWatermark(t *testing.T) {
+	s := NewStats()
+	g := s.Gauge("occ")
+	g.Add(5)
+	g.Add(3)
+	g.Add(-6)
+	if g.Value != 2 || g.Max != 8 {
+		t.Fatalf("gauge value=%d max=%d, want 2/8", g.Value, g.Max)
+	}
+	if s.GaugeMax("occ") != 8 {
+		t.Fatal("GaugeMax mismatch")
+	}
+	if s.GaugeMax("none") != 0 {
+		t.Fatal("GaugeMax of absent gauge should be 0")
+	}
+}
+
+func TestStatsNamesSorted(t *testing.T) {
+	s := NewStats()
+	s.Inc("zeta", 1)
+	s.Inc("alpha", 1)
+	s.Inc("mid", 1)
+	names := s.Names()
+	if len(names) != 3 || names[0] != "alpha" || names[1] != "mid" || names[2] != "zeta" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewStats()
+	s.Inc("x", 2)
+	s.Gauge("g").Set(4)
+	out := s.String()
+	if out != "x=2\ng=4(max=4)\n" {
+		t.Fatalf("String() = %q", out)
+	}
+}

@@ -1,0 +1,120 @@
+// Package sim provides the deterministic simulation kernel shared by every
+// other subsystem of the Pacifier reproduction: a cycle clock, an event
+// queue with stable tie-breaking, a splittable PRNG, and counters.
+//
+// Everything in this package is deterministic by construction. Two runs
+// with the same seeds and the same sequence of calls produce bit-identical
+// results, which is the foundation the record-and-replay verification
+// tests stand on.
+package sim
+
+// RNG is a small, fast, deterministic pseudo-random number generator based
+// on splitmix64. It is used instead of math/rand so that streams can be
+// split per component (one per core, one per workload thread, ...) without
+// any shared state, keeping the whole simulation reproducible even if the
+// relative call order between components changes.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two generators with the
+// same seed produce the same sequence.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split derives an independent generator from r. The derived stream is
+// decorrelated from the parent by an extra mixing round.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: mix64(r.Uint64() ^ 0x9e3779b97f4a7c15)}
+}
+
+// SplitLabeled derives an independent generator keyed by label, without
+// consuming randomness from the parent. Calling it twice with the same
+// label yields the same child stream, which lets components create their
+// streams in any order.
+func (r *RNG) SplitLabeled(label uint64) *RNG {
+	return &RNG{state: mix64(r.state ^ mix64(label))}
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// mix64 is the splitmix64 finalizer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next 32 pseudo-random bits.
+func (r *RNG) Uint32() uint32 {
+	return uint32(r.Uint64() >> 32)
+}
+
+// Intn returns a value uniform in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with n <= 0")
+	}
+	// Lemire's multiply-shift rejection-free approximation is fine here:
+	// the bias for n << 2^64 is far below anything observable.
+	return int((r.Uint64() >> 11) % uint64(n))
+}
+
+// Int63n returns a value uniform in [0, n) as int64. It panics if n <= 0.
+func (r *RNG) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n called with n <= 0")
+	}
+	return int64(r.Uint64()>>1) % n
+}
+
+// Float64 returns a value uniform in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// Range returns a value uniform in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *RNG) Range(lo, hi int) int {
+	if hi < lo {
+		panic("sim: Range with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Geometric returns a sample from a geometric distribution with mean m
+// (m >= 1), capped at 64*m to keep tails bounded. Used for compute-gap
+// lengths in the workload generators.
+func (r *RNG) Geometric(m float64) int {
+	if m < 1 {
+		m = 1
+	}
+	p := 1.0 / m
+	n := 0
+	cap := int(64 * m)
+	for !r.Bool(p) && n < cap {
+		n++
+	}
+	return n
+}
+
+// Perm fills out with a pseudo-random permutation of [0, len(out)).
+func (r *RNG) Perm(out []int) {
+	for i := range out {
+		out[i] = i
+	}
+	for i := len(out) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		out[i], out[j] = out[j], out[i]
+	}
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	// Parent and child streams must not be identical.
+	p := NewRNG(7)
+	p.Uint64() // consume what Split consumed
+	diverged := false
+	for i := 0; i < 64; i++ {
+		if child.Uint64() != p.Uint64() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("child stream tracks parent stream")
+	}
+}
+
+func TestRNGSplitLabeledStable(t *testing.T) {
+	r := NewRNG(99)
+	a := r.SplitLabeled(5)
+	b := r.SplitLabeled(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same label produced different streams")
+		}
+	}
+	c := r.SplitLabeled(6)
+	if c.Uint64() == r.SplitLabeled(5).Uint64() {
+		t.Fatal("different labels produced the same first value")
+	}
+}
+
+func TestRNGSplitLabeledDoesNotConsume(t *testing.T) {
+	a := NewRNG(123)
+	b := NewRNG(123)
+	a.SplitLabeled(1)
+	a.SplitLabeled(2)
+	if a.Uint64() != b.Uint64() {
+		t.Fatal("SplitLabeled consumed parent state")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for n := 1; n <= 17; n++ {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRangeInclusive(t *testing.T) {
+	r := NewRNG(11)
+	sawLo, sawHi := false, false
+	for i := 0; i < 5000; i++ {
+		v := r.Range(3, 5)
+		if v < 3 || v > 5 {
+			t.Fatalf("Range(3,5) = %d", v)
+		}
+		if v == 3 {
+			sawLo = true
+		}
+		if v == 5 {
+			sawHi = true
+		}
+	}
+	if !sawLo || !sawHi {
+		t.Fatal("Range never produced an endpoint")
+	}
+}
+
+func TestFloat64UnitInterval(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 = %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(17)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(23)
+	hits := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) frequency = %v", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(31)
+	sum := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += r.Geometric(8)
+	}
+	mean := float64(sum) / n
+	// Geometric with success prob 1/8 counting failures has mean 7.
+	if mean < 5.5 || mean > 8.5 {
+		t.Fatalf("Geometric(8) mean = %v, want ~7", mean)
+	}
+}
+
+func TestGeometricClampsSmallMean(t *testing.T) {
+	r := NewRNG(37)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(0.01); v < 0 {
+			t.Fatalf("negative sample %d", v)
+		}
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(41)
+	if err := quick.Check(func(nRaw uint8) bool {
+		n := int(nRaw%32) + 1
+		out := make([]int, n)
+		r.Perm(out)
+		seen := make([]bool, n)
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermShuffles(t *testing.T) {
+	r := NewRNG(43)
+	out := make([]int, 64)
+	identical := 0
+	for trial := 0; trial < 20; trial++ {
+		r.Perm(out)
+		inPlace := 0
+		for i, v := range out {
+			if i == v {
+				inPlace++
+			}
+		}
+		if inPlace == len(out) {
+			identical++
+		}
+	}
+	if identical > 0 {
+		t.Fatal("Perm returned the identity permutation repeatedly")
+	}
+}
+
+func TestInt63nBounds(t *testing.T) {
+	r := NewRNG(47)
+	for i := 0; i < 1000; i++ {
+		v := r.Int63n(1 << 40)
+		if v < 0 || v >= 1<<40 {
+			t.Fatalf("Int63n out of range: %d", v)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package trace
+
+// Litmus tests. Each is a tiny workload whose non-SC outcomes are the
+// canonical examples of Figures 1 and 2 in the paper. The interesting
+// addresses are distinct lines so the reorderings are visible through
+// the coherence protocol.
+
+// litmusX and litmusY are the two conflict lines every litmus test uses.
+var (
+	litmusX = SharedWord(0, 0)
+	litmusY = SharedWord(1, 0)
+)
+
+// LitmusAddrs returns the two data addresses used by the litmus tests
+// (x, y), so tests can inspect final memory.
+func LitmusAddrs() (x, y uint64) { return uint64(litmusX), uint64(litmusY) }
+
+// StoreBuffering is the Dekker/SB test of Figure 1(a):
+//
+//	P0: St x=1; Ld y        P1: St y=1; Ld x
+//
+// Under RC (or TSO) both loads can return 0 — an SCV. The Compute
+// padding keeps the two threads roughly aligned in time so the racy
+// window actually overlaps.
+func StoreBuffering() *Workload {
+	return &Workload{
+		Name: "litmus-sb",
+		Threads: []Thread{
+			{{Kind: Write, Addr: litmusX}, {Kind: Read, Addr: litmusY}},
+			{{Kind: Write, Addr: litmusY}, {Kind: Read, Addr: litmusX}},
+		},
+	}
+}
+
+// MessagePassing is the MP test:
+//
+//	P0: St x=1; St y=1      P1: Ld y; Ld x
+//
+// Under RC the stores can perform out of order, so P1 can see y==1 but
+// x==0 — the Figure 1(b) SCV.
+func MessagePassing() *Workload {
+	return &Workload{
+		Name: "litmus-mp",
+		Threads: []Thread{
+			{{Kind: Write, Addr: litmusX}, {Kind: Write, Addr: litmusY}},
+			{{Kind: Read, Addr: litmusY}, {Kind: Read, Addr: litmusX}},
+		},
+	}
+}
+
+// WRC (write-to-read causality) is the three-processor test of
+// Figure 2(a):
+//
+//	P0: St x=1              P1: Ld x; St y=1        P2: Ld y; Ld x
+//
+// Without write atomicity P2 can see y==1 but x==0 even if P1 saw x==1.
+func WRC() *Workload {
+	return &Workload{
+		Name: "litmus-wrc",
+		Threads: []Thread{
+			{{Kind: Write, Addr: litmusX}},
+			{{Kind: Read, Addr: litmusX}, {Kind: Write, Addr: litmusY}},
+			{{Kind: Read, Addr: litmusY}, {Kind: Read, Addr: litmusX}},
+		},
+	}
+}
+
+// IRIW (independent reads of independent writes):
+//
+//	P0: St x=1    P1: St y=1    P2: Ld x; Ld y    P3: Ld y; Ld x
+//
+// Non-atomic writes allow P2 to see (1,0) while P3 sees (1,0) in the
+// opposite order — the two readers disagree on the write order.
+func IRIW() *Workload {
+	return &Workload{
+		Name: "litmus-iriw",
+		Threads: []Thread{
+			{{Kind: Write, Addr: litmusX}},
+			{{Kind: Write, Addr: litmusY}},
+			{{Kind: Read, Addr: litmusX}, {Kind: Read, Addr: litmusY}},
+			{{Kind: Read, Addr: litmusY}, {Kind: Read, Addr: litmusX}},
+		},
+	}
+}
+
+// MPFenced is MessagePassing with proper acquire/release pairing through
+// a lock: no SCV is possible, useful as a negative control.
+func MPFenced() *Workload {
+	l := LockAddr(0)
+	return &Workload{
+		Name: "litmus-mp-fenced",
+		Threads: []Thread{
+			{
+				{Kind: Acquire, Addr: l},
+				{Kind: Write, Addr: litmusX},
+				{Kind: Write, Addr: litmusY},
+				{Kind: Release, Addr: l},
+			},
+			{
+				{Kind: Acquire, Addr: l},
+				{Kind: Read, Addr: litmusY},
+				{Kind: Read, Addr: litmusX},
+				{Kind: Release, Addr: l},
+			},
+		},
+	}
+}

@@ -1,0 +1,290 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"pacifier/internal/sim"
+)
+
+// AppProfile parameterizes a synthetic workload generator so that its
+// communication signature — the driver of R&R log size and replay speed —
+// matches one SPLASH-2 application. See DESIGN.md for the substitution
+// rationale.
+//
+// The generator produces three kinds of sharing, mirroring how the suite
+// actually communicates:
+//
+//   - Phase-structured neighbour exchange: each thread owns a partition
+//     of the shared array and double-buffers it (writes half p%2 in
+//     phase p, reads half (p+1)%2 of a neighbour's partition — data
+//     written one phase earlier). This is the bulk of the traffic and is
+//     "stale": the producing chunk finished long before the consumer
+//     reads, so it costs replay little — like the transpose in fft, the
+//     grid sweeps in ocean, the permutation in radix.
+//   - A small hot set accessed without synchronization (RacyFrac): the
+//     tight unsynchronized conflicts from which SCVs arise — visibility
+//     flags in radiosity, boundary cells in barnes/fmm.
+//   - Sparse lock-protected critical sections every ~LockEvery
+//     operations: task queues and per-object locks.
+type AppProfile struct {
+	Name string
+
+	// PartitionLines is each thread's owned shared partition, in lines.
+	PartitionLines int
+	// HotLines is the size of the global unsynchronized hot set.
+	HotLines int
+	// PrivateWords is the per-thread private footprint in words.
+	PrivateWords int
+	// SharedFrac is the fraction of data accesses touching shared data
+	// (partitioned or hot).
+	SharedFrac float64
+	// WriteFrac is the write fraction of data accesses.
+	WriteFrac float64
+	// RacyFrac is the fraction of *shared* accesses that target the hot
+	// set (unsynchronized, tight — the SCV source).
+	RacyFrac float64
+	// Locality is the probability a partitioned access reuses the
+	// previous line.
+	Locality float64
+	// Locks is the number of distinct locks; LockEvery the mean distance
+	// between critical sections in operations (0 = no locks);
+	// BurstMin/Max the accesses inside one critical section.
+	Locks              int
+	LockEvery          int
+	BurstMin, BurstMax int
+	// BarrierEvery inserts a global barrier (and advances the exchange
+	// phase) every this many operations; 0 uses a virtual phase of
+	// PhaseLen operations without an actual barrier (task-queue apps).
+	BarrierEvery int
+	PhaseLen     int
+	// ComputeMean is the mean compute gap (cycles) between operations.
+	ComputeMean float64
+}
+
+// Profiles returns the ten application profiles of the paper's
+// evaluation, in the order the figures list them.
+func Profiles() []AppProfile {
+	return []AppProfile{
+		// barnes: irregular tree walks; racy position reads; per-cell locks.
+		{Name: "barnes", PartitionLines: 64, HotLines: 24, PrivateWords: 512,
+			SharedFrac: 0.24, WriteFrac: 0.30, RacyFrac: 0.05, Locality: 0.55,
+			Locks: 64, LockEvery: 250, BurstMin: 2, BurstMax: 5,
+			BarrierEvery: 600, PhaseLen: 600, ComputeMean: 40},
+		// cholesky: task-queue factorization; queue lock; stale panel reads.
+		{Name: "cholesky", PartitionLines: 96, HotLines: 12, PrivateWords: 768,
+			SharedFrac: 0.22, WriteFrac: 0.35, RacyFrac: 0.03, Locality: 0.65,
+			Locks: 16, LockEvery: 200, BurstMin: 2, BurstMax: 6,
+			BarrierEvery: 0, PhaseLen: 500, ComputeMean: 48},
+		// fft: barrier-separated all-to-all transpose; almost no races.
+		{Name: "fft", PartitionLines: 128, HotLines: 6, PrivateWords: 1024,
+			SharedFrac: 0.35, WriteFrac: 0.45, RacyFrac: 0.01, Locality: 0.75,
+			Locks: 4, LockEvery: 800, BurstMin: 2, BurstMax: 3,
+			BarrierEvery: 300, PhaseLen: 300, ComputeMean: 32},
+		// fmm: irregular interaction lists; moderate races and locks.
+		{Name: "fmm", PartitionLines: 80, HotLines: 20, PrivateWords: 640,
+			SharedFrac: 0.30, WriteFrac: 0.28, RacyFrac: 0.04, Locality: 0.60,
+			Locks: 48, LockEvery: 300, BurstMin: 2, BurstMax: 5,
+			BarrierEvery: 800, PhaseLen: 800, ComputeMean: 48},
+		// lu: blocked factorization; barrier phases; low sharing.
+		{Name: "lu", PartitionLines: 96, HotLines: 4, PrivateWords: 1024,
+			SharedFrac: 0.28, WriteFrac: 0.40, RacyFrac: 0.01, Locality: 0.80,
+			Locks: 2, LockEvery: 900, BurstMin: 2, BurstMax: 3,
+			BarrierEvery: 350, PhaseLen: 350, ComputeMean: 40},
+		// ocean: nearest-neighbour sweeps; boundary rows read racily.
+		{Name: "ocean", PartitionLines: 112, HotLines: 12, PrivateWords: 512,
+			SharedFrac: 0.32, WriteFrac: 0.40, RacyFrac: 0.025, Locality: 0.70,
+			Locks: 8, LockEvery: 500, BurstMin: 2, BurstMax: 4,
+			BarrierEvery: 350, PhaseLen: 350, ComputeMean: 32},
+		// radiosity: task stealing; the most racy visibility checks and
+		// heaviest locking — the paper's worst case (Figure 13).
+		{Name: "radiosity", PartitionLines: 48, HotLines: 40, PrivateWords: 384,
+			SharedFrac: 0.45, WriteFrac: 0.32, RacyFrac: 0.08, Locality: 0.45,
+			Locks: 64, LockEvery: 200, BurstMin: 1, BurstMax: 4,
+			BarrierEvery: 0, PhaseLen: 400, ComputeMean: 40},
+		// radix: permutation writes into bins between barriers.
+		{Name: "radix", PartitionLines: 112, HotLines: 16, PrivateWords: 512,
+			SharedFrac: 0.38, WriteFrac: 0.55, RacyFrac: 0.035, Locality: 0.50,
+			Locks: 4, LockEvery: 700, BurstMin: 2, BurstMax: 3,
+			BarrierEvery: 300, PhaseLen: 300, ComputeMean: 24},
+		// raytrace: work-stealing ray queues; scene read racily.
+		{Name: "raytrace", PartitionLines: 96, HotLines: 28, PrivateWords: 384,
+			SharedFrac: 0.42, WriteFrac: 0.18, RacyFrac: 0.06, Locality: 0.55,
+			Locks: 48, LockEvery: 220, BurstMin: 1, BurstMax: 4,
+			BarrierEvery: 0, PhaseLen: 450, ComputeMean: 48},
+		// water-nsq: per-molecule locks; low overall sharing.
+		{Name: "water-nsq", PartitionLines: 64, HotLines: 8, PrivateWords: 768,
+			SharedFrac: 0.30, WriteFrac: 0.30, RacyFrac: 0.02, Locality: 0.70,
+			Locks: 64, LockEvery: 350, BurstMin: 2, BurstMax: 4,
+			BarrierEvery: 700, PhaseLen: 700, ComputeMean: 48},
+	}
+}
+
+// ProfileByName looks up one of the ten profiles.
+func ProfileByName(name string) (AppProfile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return AppProfile{}, fmt.Errorf("trace: unknown application %q", name)
+}
+
+// AppNames returns the application names in figure order.
+func AppNames() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// SortedAppNames returns the names sorted alphabetically.
+func SortedAppNames() []string {
+	n := AppNames()
+	sort.Strings(n)
+	return n
+}
+
+// Generate builds a workload of nThreads threads with approximately
+// opsPerThread operations each, deterministically from seed.
+func (p AppProfile) Generate(nThreads, opsPerThread int, seed uint64) *Workload {
+	if nThreads <= 0 || opsPerThread <= 0 {
+		panic("trace: Generate needs positive thread and op counts")
+	}
+	w := &Workload{
+		Name:    p.Name,
+		Threads: make([]Thread, nThreads),
+	}
+	root := sim.NewRNG(seed ^ hashName(p.Name))
+	for tid := 0; tid < nThreads; tid++ {
+		w.Threads[tid] = p.genThread(tid, nThreads, opsPerThread, root.SplitLabeled(uint64(tid)))
+	}
+	return w
+}
+
+// Address layout helpers for the partitioned region: partition of thread
+// t occupies lines [t*PartitionLines, (t+1)*PartitionLines). Each half of
+// a partition is PartitionLines/2 lines (double buffering).
+func (p AppProfile) partitionLine(tid, phase, idx int) int {
+	half := p.PartitionLines / 2
+	if half < 1 {
+		half = 1
+	}
+	base := tid * p.PartitionLines
+	return base + (phase%2)*half + idx%half
+}
+
+// hotLine indexes the global hot set, placed after all partitions. The
+// caller adds the partition span.
+func hotSpan(nThreads, partitionLines int) int { return nThreads * partitionLines }
+
+func (p AppProfile) genThread(tid, nThreads, n int, rng *sim.RNG) Thread {
+	th := make(Thread, 0, n+n/16)
+	phaseLen := p.BarrierEvery
+	if phaseLen <= 0 {
+		phaseLen = p.PhaseLen
+	}
+	if phaseLen <= 0 {
+		phaseLen = 400
+	}
+	phase := 0
+	barrierID := 0
+	nextPhase := phaseLen
+	hotBase := hotSpan(nThreads, p.PartitionLines)
+	curIdx := rng.Intn(1 << 20)
+	lockGap := 1 + rng.Geometric(float64(p.LockEvery))
+
+	emitCompute := func() {
+		if g := rng.Geometric(p.ComputeMean); g > 0 {
+			th = append(th, Op{Kind: Compute, Cycles: g})
+		}
+	}
+	kind := func() OpKind {
+		if rng.Bool(p.WriteFrac) {
+			return Write
+		}
+		return Read
+	}
+
+	for len(th) < n {
+		emitCompute()
+		if len(th) >= nextPhase {
+			phase++
+			nextPhase += phaseLen
+			if p.BarrierEvery > 0 {
+				th = append(th, Op{Kind: Barrier, ID: barrierID})
+				barrierID++
+			}
+		}
+		if p.LockEvery > 0 {
+			lockGap--
+			if lockGap <= 0 {
+				lockGap = 1 + rng.Geometric(float64(p.LockEvery))
+				lock := rng.Intn(p.Locks)
+				th = append(th, Op{Kind: Acquire, Addr: LockAddr(lock)})
+				burst := rng.Range(p.BurstMin, p.BurstMax)
+				for b := 0; b < burst; b++ {
+					// Critical sections touch lock-affine hot lines.
+					line := hotBase + (lock*7+b)%maxInt(p.HotLines, 1)
+					th = append(th, Op{Kind: kind(), Addr: SharedWord(line, rng.Intn(4))})
+				}
+				th = append(th, Op{Kind: Release, Addr: LockAddr(lock)})
+				continue
+			}
+		}
+		if !rng.Bool(p.SharedFrac) {
+			th = append(th, Op{Kind: kind(), Addr: PrivateWord(tid, rng.Intn(p.PrivateWords))})
+			continue
+		}
+		if rng.Bool(p.RacyFrac) {
+			// Unsynchronized hot access: the tight conflicts.
+			line := hotBase + rng.Intn(maxInt(p.HotLines, 1))
+			th = append(th, Op{Kind: kind(), Addr: SharedWord(line, rng.Intn(4))})
+			continue
+		}
+		// Phase-structured exchange.
+		if !rng.Bool(p.Locality) {
+			curIdx = rng.Intn(1 << 20)
+		}
+		if rng.Bool(p.WriteFrac) {
+			// Produce into my half of this phase.
+			line := p.partitionLine(tid, phase, curIdx)
+			th = append(th, Op{Kind: Write, Addr: SharedWord(line, rng.Intn(4))})
+		} else {
+			// Consume a neighbour's previous-phase half: stale data.
+			nb := (tid + 1 + phase) % nThreads
+			line := p.partitionLine(nb, phase+1, curIdx) // (phase+1)%2 == (phase-1)%2
+			th = append(th, Op{Kind: Read, Addr: SharedWord(line, rng.Intn(4))})
+		}
+	}
+
+	// Equalize barrier counts across threads.
+	if p.BarrierEvery > 0 {
+		total := (n + phaseLen - 1) / phaseLen
+		for barrierID < total {
+			th = append(th, Op{Kind: Barrier, ID: barrierID})
+			barrierID++
+		}
+	}
+	return th
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// hashName turns an application name into a seed perturbation so two
+// apps with the same seed still generate distinct traces.
+func hashName(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

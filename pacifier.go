@@ -1,0 +1,208 @@
+// Package pacifier is a from-scratch reproduction of "Pacifier: Record
+// and Replay for Relaxed-Consistency Multiprocessors with Distributed
+// Directory Protocol" (Qian, Sahelices, Qian — ISCA 2014).
+//
+// It provides:
+//
+//   - a deterministic multicore simulator with a distributed directory
+//     MESI protocol, Release Consistency cores, and (optionally)
+//     non-atomic writes;
+//   - Pacifier's record phase — Karma-style chunking, the Granule SCV
+//     detector, the Volition oracle, and Relog's D_set/P_set/Pred logs;
+//   - a deterministic replayer with verification against the recording;
+//   - the ten SPLASH-2-like workload generators and the litmus tests the
+//     paper's figures are built on.
+//
+// Quick start:
+//
+//	w := pacifier.App("radiosity", 16, 2000, 1)
+//	run, _ := pacifier.Record(w, pacifier.Options{Seed: 1, Atomic: true},
+//	    pacifier.Karma, pacifier.Granule)
+//	rep, _ := run.Replay(pacifier.Granule)
+//	fmt.Println(rep.Deterministic(), run.Slowdown(rep))
+package pacifier
+
+import (
+	"fmt"
+
+	"pacifier/internal/core"
+	"pacifier/internal/record"
+	"pacifier/internal/relog"
+	"pacifier/internal/replay"
+	"pacifier/internal/sim"
+	"pacifier/internal/trace"
+)
+
+// Mode selects a record-phase policy (SCV-D + logging).
+type Mode = record.Mode
+
+// The recorder modes of the paper's evaluation (Section 6) and the
+// optimization-space ablations (Table 2).
+const (
+	// Karma is the chunk-DAG baseline with no SCV support; under RC its
+	// replay generally diverges (the problem Pacifier solves).
+	Karma = record.ModeKarma
+	// RAll logs every local reordering (Figure 7a strawman).
+	RAll = record.ModeRAll
+	// RBound logs all pending instructions at chunk terminations.
+	RBound = record.ModeRBound
+	// MoveBound is Karma + Move-Bound + Invisi-Bound.
+	MoveBound = record.ModeMoveBound
+	// Granule is Pacifier's SCV detector: Karma + PMove-Bound +
+	// Invisi-Bound (Section 3.5).
+	Granule = record.ModeGranule
+	// Volition gates Granule's logging with a precise cycle detector —
+	// the paper's hypothetical oracle ("Vol").
+	Volition = record.ModeVolition
+)
+
+// Options configures a recording run.
+type Options struct {
+	// Seed drives every random choice in the machine (store-buffer
+	// delays, lock backoff). Same seed, same workload: identical run.
+	Seed uint64
+	// Atomic selects write atomicity. The paper's evaluation models
+	// atomic writes; set false for the PowerPC/ARM-style non-atomic
+	// behaviour that is Pacifier's headline capability.
+	Atomic bool
+	// MaxChunkOps bounds chunk size (0 = default 2048).
+	MaxChunkOps int64
+	// MaxCycles bounds the simulation (0 = default 2e8).
+	MaxCycles int64
+}
+
+// Workload is a multiprocessor program for the simulated machine.
+type Workload = trace.Workload
+
+// Run is a recorded execution with one or more recordings attached.
+type Run struct {
+	inner *core.RunResult
+}
+
+// ReplayResult is the outcome of a deterministic replay.
+type ReplayResult = replay.Result
+
+// LogStats summarizes a recording's log (sizes under the wire encoding).
+type LogStats = relog.Stats
+
+// App generates one of the ten SPLASH-2-like workloads ("barnes",
+// "cholesky", "fft", "fmm", "lu", "ocean", "radiosity", "radix",
+// "raytrace", "water-nsq") with nThreads threads of about opsPerThread
+// memory operations, deterministically from seed.
+func App(name string, nThreads, opsPerThread int, seed uint64) (*Workload, error) {
+	p, err := trace.ProfileByName(name)
+	if err != nil {
+		return nil, err
+	}
+	return p.Generate(nThreads, opsPerThread, seed), nil
+}
+
+// Apps returns the application names in the order the paper's figures
+// list them.
+func Apps() []string { return trace.AppNames() }
+
+// Litmus returns a named litmus test: "sb" (Dekker/store buffering),
+// "mp" (message passing), "wrc", "iriw", or "mp-fenced".
+func Litmus(name string) (*Workload, error) {
+	switch name {
+	case "sb":
+		return trace.StoreBuffering(), nil
+	case "mp":
+		return trace.MessagePassing(), nil
+	case "wrc":
+		return trace.WRC(), nil
+	case "iriw":
+		return trace.IRIW(), nil
+	case "mp-fenced":
+		return trace.MPFenced(), nil
+	}
+	return nil, fmt.Errorf("pacifier: unknown litmus test %q", name)
+}
+
+// Record executes the workload once on the simulated Table 4 machine
+// (len(w.Threads) cores) and records it simultaneously under every
+// requested mode, so the recordings are directly comparable.
+func Record(w *Workload, opts Options, modes ...Mode) (*Run, error) {
+	copts := core.DefaultOptions()
+	copts.Seed = opts.Seed
+	copts.Atomic = opts.Atomic
+	if opts.MaxChunkOps > 0 {
+		copts.MaxChunkOps = opts.MaxChunkOps
+	}
+	if opts.MaxCycles > 0 {
+		copts.MaxCycles = sim.Cycle(opts.MaxCycles)
+	}
+	rr, err := core.Record(w, copts, modes...)
+	if err != nil {
+		return nil, err
+	}
+	return &Run{inner: rr}, nil
+}
+
+// Replay deterministically re-executes the recording made under mode and
+// verifies every load, store and RMW outcome against the original run.
+func (r *Run) Replay(mode Mode) (*ReplayResult, error) {
+	return core.Replay(r.inner, mode, 0)
+}
+
+// ReplayWithScanSeed perturbs the replay scheduler's choice among ready
+// chunks; any seed must reproduce identical values.
+func (r *Run) ReplayWithScanSeed(mode Mode, seed uint64) (*ReplayResult, error) {
+	return core.Replay(r.inner, mode, seed)
+}
+
+// NativeCycles is the recorded execution time in simulated cycles.
+func (r *Run) NativeCycles() int64 { return int64(r.inner.NativeCycles) }
+
+// MemOps is the number of memory operations executed.
+func (r *Run) MemOps() int64 { return r.inner.MemOps }
+
+// Slowdown returns a replay's slowdown versus native execution as a
+// fraction (0.12 = 12%) — the Figure 12 metric.
+func (r *Run) Slowdown(res *ReplayResult) float64 { return r.inner.Slowdown(res) }
+
+// LogStats returns the log statistics for mode (zero value if the mode
+// was not recorded).
+func (r *Run) LogStats(mode Mode) LogStats {
+	if rec := r.inner.Recording(mode); rec != nil {
+		return rec.LogStats
+	}
+	return LogStats{}
+}
+
+// LogOverhead returns mode's log-size increase over the Karma recording
+// of the same run as a fraction — the Figure 11 metric. Both modes must
+// have been recorded together.
+func (r *Run) LogOverhead(mode Mode) (float64, error) {
+	karma := r.inner.Recording(Karma)
+	other := r.inner.Recording(mode)
+	if karma == nil || other == nil {
+		return 0, fmt.Errorf("pacifier: LogOverhead needs both Karma and %v recordings", mode)
+	}
+	return core.LogOverhead(karma, other), nil
+}
+
+// LHBMax returns the maximum Log History Buffer occupancy observed for
+// mode — the Figure 13 metric (the paper configures 16 entries).
+func (r *Run) LHBMax(mode Mode) int {
+	if rec := r.inner.Recording(mode); rec != nil {
+		return rec.LHBMax
+	}
+	return 0
+}
+
+// EncodedLog serializes mode's recording to its wire format.
+func (r *Run) EncodedLog(mode Mode) ([]byte, error) {
+	rec := r.inner.Recording(mode)
+	if rec == nil {
+		return nil, fmt.Errorf("pacifier: no recording for %v", mode)
+	}
+	return relog.EncodeLog(rec.Log), nil
+}
+
+// VerifyRoundTrip encodes, decodes and replays mode's recording,
+// returning an error unless the decoded log reproduces the execution
+// exactly.
+func (r *Run) VerifyRoundTrip(mode Mode) error {
+	return core.VerifyRoundTrip(r.inner, mode)
+}
