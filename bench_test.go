@@ -13,6 +13,8 @@ package pacifier
 import (
 	"fmt"
 	"testing"
+
+	"pacifier/internal/harness"
 )
 
 // figureCores are the machine sizes of the evaluation (Section 6.1).
@@ -196,6 +198,36 @@ func BenchmarkRecordThroughput(b *testing.B) {
 		ops += run.MemOps()
 	}
 	b.ReportMetric(float64(ops)/b.Elapsed().Seconds(), "memops/s")
+}
+
+// BenchmarkHarnessSweep measures the experiment-fleet scheduler end to
+// end: a figure-style sweep (record + replay + aggregate) fanned out
+// over 1, 2 and 4 workers. On a multicore runner the multi-worker
+// series show the wall-clock speedup cmd/experiments now gets for free.
+func BenchmarkHarnessSweep(b *testing.B) {
+	var specs []harness.JobSpec
+	for _, app := range []string{"fft", "lu", "radix", "ocean"} {
+		for _, n := range []int{8, 16} {
+			specs = append(specs, harness.JobSpec{
+				Kind: "app", Name: app, Cores: n, Ops: 1000, Seed: 1,
+				Atomic: true, Modes: []string{"karma", "vol", "gra"}, Replay: true,
+			})
+		}
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				outcomes := harness.Run(specs, harness.Options{Workers: workers})
+				if n := len(harness.Errs(outcomes)); n > 0 {
+					b.Fatalf("%d sweep jobs failed", n)
+				}
+				if len(harness.Results(outcomes)) != len(specs) {
+					b.Fatal("sweep lost results")
+				}
+			}
+			b.ReportMetric(float64(len(specs))/b.Elapsed().Seconds()*float64(b.N), "jobs/s")
+		})
+	}
 }
 
 // BenchmarkReplayThroughput measures replay speed in replayed ops/s.

@@ -2,11 +2,18 @@
 // Figure 11 (log size), Figure 12 (replay speed) and Figure 13 (LHB
 // occupancy), printing one table per figure in the paper's layout.
 //
+// The sweep — one job per (app, machine size), each recorded under
+// Karma, Vol and Gra simultaneously and replayed under all three — runs
+// on the internal/harness worker pool, in parallel across GOMAXPROCS,
+// and finished jobs are cached in .pacifier-cache/ so a re-run only
+// simulates what changed.
+//
 // Usage:
 //
 //	experiments            # all figures
 //	experiments -fig 11    # one figure
 //	experiments -ops 4000 -cores 16,32,64
+//	experiments -jobs 8 -no-cache
 package main
 
 import (
@@ -15,21 +22,36 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
+
+	"pacifier/internal/harness"
 
 	"pacifier"
 )
 
-type cell struct{ vol, gra, karma float64 }
-
 func main() {
 	var (
-		fig     = flag.Int("fig", 0, "figure to regenerate (11, 12, 13; 0 = all)")
-		ops     = flag.Int("ops", 2000, "memory operations per thread")
-		coreArg = flag.String("cores", "16,32,64", "machine sizes")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
+		fig      = flag.Int("fig", 0, "figure to regenerate (11, 12, 13; 0 = all)")
+		ops      = flag.Int("ops", 2000, "memory operations per thread (>= 1)")
+		coreArg  = flag.String("cores", "16,32,64", "machine sizes")
+		seed     = flag.Uint64("seed", 1, "simulation seed (>= 1)")
+		jobs     = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "per-job timeout (0 = none)")
+		cacheDir = flag.String("cache-dir", harness.DefaultCacheDir, "result cache directory")
+		noCache  = flag.Bool("no-cache", false, "disable the result cache")
 	)
 	flag.Parse()
 
+	// Validate everything up front: a bad value must be a clear CLI
+	// error here, not a panic deep inside workload generation.
+	if *ops < 1 {
+		fmt.Fprintf(os.Stderr, "bad -ops %d: need at least 1 memory operation per thread\n", *ops)
+		os.Exit(1)
+	}
+	if *seed == 0 {
+		fmt.Fprintf(os.Stderr, "bad -seed 0: the seed drives every random choice and must be >= 1\n")
+		os.Exit(1)
+	}
 	var cores []int
 	for _, s := range strings.Split(*coreArg, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
@@ -40,131 +62,55 @@ func main() {
 		cores = append(cores, n)
 	}
 
-	apps := pacifier.Apps()
-	// One run per (app, cores): all three figures come from the same
+	// One job per (app, cores): all three figures come from the same
 	// execution, recorded under Karma, Vol and Gra simultaneously.
-	type key struct {
-		app string
-		n   int
-	}
-	runs := map[key]*pacifier.Run{}
-	replays := map[key]map[pacifier.Mode]*pacifier.ReplayResult{}
-	for _, app := range apps {
+	var specs []harness.JobSpec
+	for _, app := range pacifier.Apps() {
 		for _, n := range cores {
-			w, err := pacifier.App(app, n, *ops, *seed)
-			if err != nil {
-				panic(err)
-			}
-			fmt.Fprintf(os.Stderr, "running %s on %d cores...\n", app, n)
-			run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: true},
-				pacifier.Karma, pacifier.Volition, pacifier.Granule)
-			if err != nil {
-				panic(err)
-			}
-			k := key{app, n}
-			runs[k] = run
-			replays[k] = map[pacifier.Mode]*pacifier.ReplayResult{}
-			for _, m := range []pacifier.Mode{pacifier.Karma, pacifier.Volition, pacifier.Granule} {
-				res, err := run.Replay(m)
-				if err != nil {
-					panic(err)
-				}
-				replays[k][m] = res
-				if m == pacifier.Granule && !res.Deterministic() {
-					fmt.Fprintf(os.Stderr, "WARNING: %s/%d Granule replay diverged!\n", app, n)
-				}
-			}
+			specs = append(specs, harness.JobSpec{
+				Kind:   "app",
+				Name:   app,
+				Cores:  n,
+				Ops:    *ops,
+				Seed:   *seed,
+				Atomic: true,
+				Modes:  []string{"karma", "vol", "gra"},
+				Replay: true,
+			})
 		}
 	}
 
-	header := func(title string) {
-		fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
-		fmt.Printf("%-11s", "app")
-		for _, n := range cores {
-			fmt.Printf("  %7s %7s", fmt.Sprintf("vol/p%d", n), fmt.Sprintf("gra/p%d", n))
+	opts := harness.Options{
+		Workers:  *jobs,
+		Timeout:  *timeout,
+		Progress: os.Stderr,
+	}
+	if !*noCache {
+		cache, err := harness.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
 		}
-		fmt.Println()
+		opts.Cache = cache
 	}
 
-	if *fig == 0 || *fig == 11 {
-		header("Figure 11: log size increase over Karma (%)")
-		sumV := make([]float64, len(cores))
-		sumG := make([]float64, len(cores))
-		for _, app := range apps {
-			fmt.Printf("%-11s", app)
-			for i, n := range cores {
-				run := runs[key{app, n}]
-				v, _ := run.LogOverhead(pacifier.Volition)
-				g, _ := run.LogOverhead(pacifier.Granule)
-				sumV[i] += v
-				sumG[i] += g
-				fmt.Printf("  %6.1f%% %6.1f%%", v*100, g*100)
-			}
-			fmt.Println()
+	outcomes := harness.Run(specs, opts)
+
+	failed := harness.Errs(outcomes)
+	for _, o := range failed {
+		fmt.Fprintf(os.Stderr, "experiments: job %s failed: %v\n", o.Spec.Label(), o.Err)
+	}
+	results := harness.Results(outcomes)
+	for _, r := range results {
+		if m := r.Mode("gra"); m != nil && m.Replay != nil && !m.Replay.Deterministic {
+			fmt.Fprintf(os.Stderr, "WARNING: %s/%d Granule replay diverged!\n",
+				r.Spec.Name, r.Spec.Cores)
 		}
-		fmt.Printf("%-11s", "average")
-		for i := range cores {
-			fmt.Printf("  %6.1f%% %6.1f%%",
-				sumV[i]/float64(len(apps))*100, sumG[i]/float64(len(apps))*100)
-		}
-		fmt.Println()
 	}
 
-	if *fig == 0 || *fig == 12 {
-		title := "Figure 12: replay slowdown vs native (%)"
-		fmt.Printf("\n%s\n%s\n", title, strings.Repeat("=", len(title)))
-		fmt.Printf("%-11s", "app")
-		for _, n := range cores {
-			fmt.Printf("  %7s %7s %7s", fmt.Sprintf("krm/p%d", n),
-				fmt.Sprintf("vol/p%d", n), fmt.Sprintf("gra/p%d", n))
-		}
-		fmt.Println()
-		sums := map[pacifier.Mode][]float64{
-			pacifier.Karma:    make([]float64, len(cores)),
-			pacifier.Volition: make([]float64, len(cores)),
-			pacifier.Granule:  make([]float64, len(cores)),
-		}
-		for _, app := range apps {
-			fmt.Printf("%-11s", app)
-			for i, n := range cores {
-				k := key{app, n}
-				run := runs[k]
-				for _, m := range []pacifier.Mode{pacifier.Karma, pacifier.Volition, pacifier.Granule} {
-					sd := run.Slowdown(replays[k][m])
-					sums[m][i] += sd
-					fmt.Printf("  %6.1f%%", sd*100)
-				}
-			}
-			fmt.Println()
-		}
-		fmt.Printf("%-11s", "average")
-		for i := range cores {
-			for _, m := range []pacifier.Mode{pacifier.Karma, pacifier.Volition, pacifier.Granule} {
-				fmt.Printf("  %6.1f%%", sums[m][i]/float64(len(apps))*100)
-			}
-		}
-		fmt.Println()
-	}
+	harness.FigureTables(os.Stdout, results, *fig)
 
-	if *fig == 0 || *fig == 13 {
-		header("Figure 13: maximum LHB entries occupied (16 configured)")
-		worst := 0
-		for _, app := range apps {
-			fmt.Printf("%-11s", app)
-			for _, n := range cores {
-				run := runs[key{app, n}]
-				v := run.LHBMax(pacifier.Volition)
-				g := run.LHBMax(pacifier.Granule)
-				if v > worst {
-					worst = v
-				}
-				if g > worst {
-					worst = g
-				}
-				fmt.Printf("  %7d %7d", v, g)
-			}
-			fmt.Println()
-		}
-		fmt.Printf("worst case: %d of 16 configured entries\n", worst)
+	if len(failed) > 0 {
+		os.Exit(1)
 	}
 }

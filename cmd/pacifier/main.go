@@ -1,22 +1,36 @@
 // Command pacifier records and replays one workload on the simulated
-// machine, printing log statistics and the replay verdict.
+// machine, printing log statistics and the replay verdict, or — with the
+// sweep subcommand — runs a whole fleet of such jobs in parallel through
+// internal/harness and emits machine-readable results.
 //
 // Usage:
 //
 //	pacifier -app radiosity -cores 16 -ops 2000 -seed 1 -mode gra
 //	pacifier -litmus sb -seed 3 -nonatomic
 //	pacifier -app fft -cores 16 -save fft.rrlog
+//	pacifier -load fft.rrlog
+//	pacifier sweep -apps fft,lu -cores 16,32 -format csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"pacifier/internal/harness"
 
 	"pacifier"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "sweep" {
+		sweep(os.Args[2:])
+		return
+	}
+
 	var (
 		app       = flag.String("app", "", "SPLASH-2-like application (see -list)")
 		litmus    = flag.String("litmus", "", "litmus test: sb, mp, wrc, iriw, mp-fenced")
@@ -24,9 +38,10 @@ func main() {
 		cores     = flag.Int("cores", 16, "number of cores (threads)")
 		ops       = flag.Int("ops", 2000, "memory operations per thread")
 		seed      = flag.Uint64("seed", 1, "simulation seed")
-		modeName  = flag.String("mode", "gra", "recorder: karma, vol, gra, move, r-bound")
+		modeName  = flag.String("mode", "gra", "recorder: "+strings.Join(pacifier.ModeNames(), ", "))
 		nonatomic = flag.Bool("nonatomic", false, "model non-atomic writes (PowerPC/ARM style)")
 		save      = flag.String("save", "", "write the encoded log to this file")
+		load      = flag.String("load", "", "decode a saved log file, print its stats, and exit")
 	)
 	flag.Parse()
 
@@ -37,26 +52,36 @@ func main() {
 		return
 	}
 
-	mode, ok := map[string]pacifier.Mode{
-		"karma":   pacifier.Karma,
-		"vol":     pacifier.Volition,
-		"gra":     pacifier.Granule,
-		"move":    pacifier.MoveBound,
-		"r-bound": pacifier.RBound,
-	}[*modeName]
-	if !ok {
-		fail("unknown -mode %q", *modeName)
+	if *load != "" {
+		blob, err := os.ReadFile(*load)
+		if err != nil {
+			fail("%v", err)
+		}
+		st, err := pacifier.DecodeLogStats(blob)
+		if err != nil {
+			fail("decode %s: %v", *load, err)
+		}
+		fmt.Printf("log file        %s (%d bytes)\n", *load, len(blob))
+		fmt.Printf("chunks          %d\n", st.Chunks)
+		fmt.Printf("D_set entries   %d   P_set %d   value logs %d   pred edges %d\n",
+			st.DEntries, st.PEntries, st.VEntries, st.PredEdges)
+		fmt.Printf("encoded bytes   %d total (%d chunk skeleton)\n", st.TotalBytes, st.BaseBytes)
+		return
+	}
+
+	mode, err := pacifier.ParseMode(*modeName)
+	if err != nil {
+		fail("unknown -mode %q (valid: %s)", *modeName, strings.Join(pacifier.ModeNames(), ", "))
 	}
 
 	var w *pacifier.Workload
-	var err error
 	switch {
 	case *litmus != "":
 		w, err = pacifier.Litmus(*litmus)
 	case *app != "":
 		w, err = pacifier.App(*app, *cores, *ops, *seed)
 	default:
-		fail("need -app or -litmus (try -list)")
+		fail("need -app, -litmus or -load (try -list)")
 	}
 	if err != nil {
 		fail("%v", err)
@@ -117,6 +142,138 @@ func main() {
 			fail("%v", err)
 		}
 		fmt.Printf("log written     %s (%d bytes)\n", *save, len(blob))
+	}
+}
+
+// sweep runs a fleet of record+replay jobs through the harness and
+// emits the aggregated result set.
+func sweep(args []string) {
+	fs := flag.NewFlagSet("pacifier sweep", flag.ExitOnError)
+	var (
+		appsArg   = fs.String("apps", "all", `applications to sweep ("all" or a comma list)`)
+		litmusArg = fs.String("litmus", "", "litmus tests to sweep (comma list)")
+		coreArg   = fs.String("cores", "16,32,64", "machine sizes (comma list, app jobs only)")
+		ops       = fs.Int("ops", 2000, "memory operations per thread (>= 1)")
+		seed      = fs.Uint64("seed", 1, "simulation seed (>= 1)")
+		modesArg  = fs.String("modes", "karma,vol,gra",
+			"recorder modes, co-recorded per job (valid: "+strings.Join(pacifier.ModeNames(), ", ")+")")
+		noReplay  = fs.Bool("no-replay", false, "record only, skip replay verification")
+		nonatomic = fs.Bool("nonatomic", false, "model non-atomic writes")
+		jobs      = fs.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "per-job timeout (0 = none)")
+		cacheDir  = fs.String("cache-dir", harness.DefaultCacheDir, "result cache directory")
+		noCache   = fs.Bool("no-cache", false, "disable the result cache")
+		format    = fs.String("format", "jsonl", "output format: jsonl, csv, tables")
+		out       = fs.String("o", "", "write output to this file instead of stdout")
+	)
+	fs.Parse(args)
+
+	if *ops < 1 {
+		fail("bad -ops %d: need at least 1 memory operation per thread", *ops)
+	}
+	if *seed == 0 {
+		fail("bad -seed 0: the seed drives every random choice and must be >= 1")
+	}
+	var modes []string
+	for _, m := range strings.Split(*modesArg, ",") {
+		m = strings.TrimSpace(m)
+		if _, err := pacifier.ParseMode(m); err != nil {
+			fail("%v", err)
+		}
+		modes = append(modes, m)
+	}
+
+	var specs []harness.JobSpec
+	if *appsArg != "" {
+		apps := pacifier.Apps()
+		if *appsArg != "all" {
+			apps = nil
+			for _, a := range strings.Split(*appsArg, ",") {
+				apps = append(apps, strings.TrimSpace(a))
+			}
+		}
+		var cores []int
+		for _, s := range strings.Split(*coreArg, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 2 || n > 64 {
+				fail("bad -cores entry %q", s)
+			}
+			cores = append(cores, n)
+		}
+		for _, a := range apps {
+			if _, err := pacifier.App(a, 2, 1, 1); err != nil {
+				fail("%v", err)
+			}
+			for _, n := range cores {
+				specs = append(specs, harness.JobSpec{
+					Kind: "app", Name: a, Cores: n, Ops: *ops, Seed: *seed,
+					Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
+				})
+			}
+		}
+	}
+	for _, l := range strings.Split(*litmusArg, ",") {
+		l = strings.TrimSpace(l)
+		if l == "" {
+			continue
+		}
+		if _, err := pacifier.Litmus(l); err != nil {
+			fail("%v", err)
+		}
+		specs = append(specs, harness.JobSpec{
+			Kind: "litmus", Name: l, Seed: *seed,
+			Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
+		})
+	}
+	if len(specs) == 0 {
+		fail("sweep: nothing to run (empty -apps and -litmus)")
+	}
+
+	opts := harness.Options{Workers: *jobs, Timeout: *timeout, Progress: os.Stderr}
+	if !*noCache {
+		cache, err := harness.OpenCache(*cacheDir)
+		if err != nil {
+			fail("%v", err)
+		}
+		opts.Cache = cache
+	}
+
+	outcomes := harness.Run(specs, opts)
+	for _, o := range harness.Errs(outcomes) {
+		fmt.Fprintf(os.Stderr, "pacifier: sweep job %s failed: %v\n", o.Spec.Label(), o.Err)
+	}
+	results := harness.Results(outcomes)
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fail("%v", err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	var err error
+	switch *format {
+	case "jsonl":
+		err = harness.WriteJSONL(dst, results)
+	case "csv":
+		err = harness.WriteCSV(dst, results)
+	case "tables":
+		harness.FigureTables(dst, results, 0)
+	default:
+		fail("unknown -format %q (valid: jsonl, csv, tables)", *format)
+	}
+	if err != nil {
+		fail("emit: %v", err)
+	}
+	if opts.Cache != nil {
+		hits, misses := opts.Cache.Stats()
+		fmt.Fprintf(os.Stderr, "pacifier: sweep done: %d jobs, cache %d hits / %d misses\n",
+			len(specs), hits, misses)
+	}
+	if len(harness.Errs(outcomes)) > 0 {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pacifier/internal/trace"
+)
+
+// WriteJSONL emits one compact JSON object per result, in canonical
+// (hash-sorted) order — the machine-readable form sweeps are scripted
+// against.
+func WriteJSONL(w io.Writer, results []*Result) error {
+	sorted := make([]*Result, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SpecHash < sorted[j].SpecHash })
+	enc := json.NewEncoder(w)
+	for _, r := range sorted {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// csvHeader is the flat schema: one row per (job, mode).
+var csvHeader = []string{
+	"spec_hash", "kind", "name", "cores", "ops", "seed", "atomic", "max_chunk_ops",
+	"native_cycles", "mem_ops", "mode",
+	"chunks", "d_entries", "p_entries", "v_entries", "pred_edges",
+	"base_bytes", "total_bytes", "overhead_vs_karma", "lhb_max",
+	"ops_replayed", "mismatches", "order_breaks", "deterministic", "slowdown",
+}
+
+// WriteCSV flattens the result set to one row per (job, mode), in
+// canonical order. Replay columns are empty for record-only jobs;
+// overhead_vs_karma is empty when karma was not co-recorded.
+func WriteCSV(w io.Writer, results []*Result) error {
+	sorted := make([]*Result, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SpecHash < sorted[j].SpecHash })
+
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, r := range sorted {
+		for _, m := range r.Modes {
+			row := []string{
+				r.SpecHash, r.Spec.Kind, r.Spec.Name,
+				strconv.Itoa(r.Spec.Cores), strconv.Itoa(r.Spec.Ops),
+				strconv.FormatUint(r.Spec.Seed, 10), strconv.FormatBool(r.Spec.Atomic),
+				strconv.FormatInt(r.Spec.MaxChunkOps, 10),
+				strconv.FormatInt(r.NativeCycles, 10), strconv.FormatInt(r.MemOps, 10),
+				m.Mode,
+				strconv.Itoa(m.Chunks), strconv.Itoa(m.DEntries), strconv.Itoa(m.PEntries),
+				strconv.Itoa(m.VEntries), strconv.Itoa(m.PredEdges),
+				strconv.FormatInt(m.BaseBytes, 10), strconv.FormatInt(m.TotalBytes, 10),
+				"", strconv.Itoa(m.LHBMax),
+				"", "", "", "", "",
+			}
+			if m.HasOverhead {
+				row[18] = strconv.FormatFloat(m.OverheadVsKarma, 'g', -1, 64)
+			}
+			if m.Replay != nil {
+				row[20] = strconv.FormatInt(m.Replay.OpsReplayed, 10)
+				row[21] = strconv.FormatInt(m.Replay.MismatchCount, 10)
+				row[22] = strconv.FormatInt(m.Replay.OrderBreaks, 10)
+				row[23] = strconv.FormatBool(m.Replay.Deterministic)
+				row[24] = strconv.FormatFloat(m.Replay.Slowdown, 'g', -1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// figureGrid indexes a result set the way the paper's tables read it:
+// apps in the paper's listing order (rows) by machine sizes ascending
+// (column groups).
+type figureGrid struct {
+	apps  []string
+	cores []int
+	byKey map[string]*Result // "name/cores"
+}
+
+func buildGrid(results []*Result) figureGrid {
+	g := figureGrid{byKey: map[string]*Result{}}
+	coreSet := map[int]bool{}
+	present := map[string]bool{}
+	for _, r := range results {
+		if r.Spec.Kind != "app" {
+			continue
+		}
+		g.byKey[fmt.Sprintf("%s/%d", r.Spec.Name, r.Spec.Cores)] = r
+		coreSet[r.Spec.Cores] = true
+		present[r.Spec.Name] = true
+	}
+	for _, app := range trace.AppNames() { // paper order
+		if present[app] {
+			g.apps = append(g.apps, app)
+		}
+	}
+	for n := range coreSet {
+		g.cores = append(g.cores, n)
+	}
+	sort.Ints(g.cores)
+	return g
+}
+
+func (g figureGrid) at(app string, cores int) *Result {
+	return g.byKey[fmt.Sprintf("%s/%d", app, cores)]
+}
+
+// overhead returns mode's Fig. 11 log overhead (0 when the cell or the
+// karma co-recording is absent, matching the old CLI's ignored error).
+func overhead(r *Result, mode string) float64 {
+	if r == nil {
+		return 0
+	}
+	if m := r.Mode(mode); m != nil && m.HasOverhead {
+		return m.OverheadVsKarma
+	}
+	return 0
+}
+
+func slowdown(r *Result, mode string) float64 {
+	if r == nil {
+		return 0
+	}
+	if m := r.Mode(mode); m != nil && m.Replay != nil {
+		return m.Replay.Slowdown
+	}
+	return 0
+}
+
+func lhbMax(r *Result, mode string) int {
+	if r == nil {
+		return 0
+	}
+	if m := r.Mode(mode); m != nil {
+		return m.LHBMax
+	}
+	return 0
+}
+
+// FigureTables renders the paper-layout tables (Figure 11, 12, 13) from
+// a result set; fig selects one figure or 0 for all. The layout and
+// numbers are byte-identical to what cmd/experiments printed before the
+// harness existed, because the tables are now just another emitter over
+// the same result set.
+func FigureTables(w io.Writer, results []*Result, fig int) {
+	g := buildGrid(results)
+
+	header := func(title string) {
+		fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+		fmt.Fprintf(w, "%-11s", "app")
+		for _, n := range g.cores {
+			fmt.Fprintf(w, "  %7s %7s", fmt.Sprintf("vol/p%d", n), fmt.Sprintf("gra/p%d", n))
+		}
+		fmt.Fprintln(w)
+	}
+
+	if fig == 0 || fig == 11 {
+		header("Figure 11: log size increase over Karma (%)")
+		sumV := make([]float64, len(g.cores))
+		sumG := make([]float64, len(g.cores))
+		for _, app := range g.apps {
+			fmt.Fprintf(w, "%-11s", app)
+			for i, n := range g.cores {
+				r := g.at(app, n)
+				v, gr := overhead(r, "vol"), overhead(r, "gra")
+				sumV[i] += v
+				sumG[i] += gr
+				fmt.Fprintf(w, "  %6.1f%% %6.1f%%", v*100, gr*100)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-11s", "average")
+		for i := range g.cores {
+			fmt.Fprintf(w, "  %6.1f%% %6.1f%%",
+				sumV[i]/float64(len(g.apps))*100, sumG[i]/float64(len(g.apps))*100)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if fig == 0 || fig == 12 {
+		title := "Figure 12: replay slowdown vs native (%)"
+		fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+		fmt.Fprintf(w, "%-11s", "app")
+		for _, n := range g.cores {
+			fmt.Fprintf(w, "  %7s %7s %7s", fmt.Sprintf("krm/p%d", n),
+				fmt.Sprintf("vol/p%d", n), fmt.Sprintf("gra/p%d", n))
+		}
+		fmt.Fprintln(w)
+		fig12Modes := []string{"karma", "vol", "gra"}
+		sums := map[string][]float64{}
+		for _, m := range fig12Modes {
+			sums[m] = make([]float64, len(g.cores))
+		}
+		for _, app := range g.apps {
+			fmt.Fprintf(w, "%-11s", app)
+			for i, n := range g.cores {
+				r := g.at(app, n)
+				for _, m := range fig12Modes {
+					sd := slowdown(r, m)
+					sums[m][i] += sd
+					fmt.Fprintf(w, "  %6.1f%%", sd*100)
+				}
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "%-11s", "average")
+		for i := range g.cores {
+			for _, m := range fig12Modes {
+				fmt.Fprintf(w, "  %6.1f%%", sums[m][i]/float64(len(g.apps))*100)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+
+	if fig == 0 || fig == 13 {
+		header("Figure 13: maximum LHB entries occupied (16 configured)")
+		worst := 0
+		for _, app := range g.apps {
+			fmt.Fprintf(w, "%-11s", app)
+			for _, n := range g.cores {
+				r := g.at(app, n)
+				v, gr := lhbMax(r, "vol"), lhbMax(r, "gra")
+				if v > worst {
+					worst = v
+				}
+				if gr > worst {
+					worst = gr
+				}
+				fmt.Fprintf(w, "  %7d %7d", v, gr)
+			}
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintf(w, "worst case: %d of 16 configured entries\n", worst)
+	}
+}

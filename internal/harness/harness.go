@@ -1,0 +1,353 @@
+// Package harness is the experiment-fleet scheduler behind
+// cmd/experiments and `pacifier sweep`: it fans a set of independent
+// simulation jobs — each one full pacifier record + replay of a
+// (workload, cores, ops, seed, atomicity, modes) configuration — out
+// across a worker pool, recovers from per-job panics, enforces per-job
+// timeouts, caches finished results on disk keyed by a content hash of
+// the spec, and aggregates everything into a deterministic,
+// order-independent result set that the emitters (JSON lines, CSV, the
+// paper's figure tables) all render from.
+//
+// Every figure of the paper (Figs. 11–13, the Table 2 ablations) is a
+// reduction over dozens of such independent jobs, so the harness is what
+// makes regenerating the evaluation cheap: a parallel sweep and a serial
+// sweep of the same specs produce byte-identical result sets, and a
+// re-run only simulates the specs whose results are not already cached.
+package harness
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+)
+
+// cacheVersion is folded into every spec hash; bump it whenever the
+// simulator, the recorders or the Result schema change meaning, so stale
+// cache entries from older module versions can never be served.
+const cacheVersion = "pacifier-harness-v1"
+
+// JobSpec identifies one simulation job completely: hashing two equal
+// specs yields the same key, so a spec is also the cache key for its
+// result. The zero values of the optional knobs (MaxChunkOps, MaxCycles)
+// select the core package defaults.
+type JobSpec struct {
+	// Kind selects the workload generator: "app" (a SPLASH-2-like
+	// profile; Cores/Ops/Seed apply) or "litmus" (a fixed litmus test;
+	// only Name applies).
+	Kind string `json:"kind"`
+	// Name is the application or litmus-test name.
+	Name string `json:"name"`
+	// Cores is the machine size (app workloads only; litmus tests fix
+	// their own thread count).
+	Cores int `json:"cores,omitempty"`
+	// Ops is the per-thread memory-operation count (app workloads only).
+	Ops int `json:"ops,omitempty"`
+	// Seed drives workload generation and the simulated machine.
+	Seed uint64 `json:"seed"`
+	// Atomic selects write atomicity.
+	Atomic bool `json:"atomic"`
+	// MaxChunkOps bounds chunk size (0 = core default).
+	MaxChunkOps int64 `json:"max_chunk_ops,omitempty"`
+	// Modes are the recorder modes, by figure-style name ("karma",
+	// "vol", "gra", ...), all recorded simultaneously on one execution
+	// so their logs are directly comparable.
+	Modes []string `json:"modes"`
+	// Replay re-executes and verifies each recorded mode.
+	Replay bool `json:"replay"`
+}
+
+// Hash returns the spec's content hash — a hex SHA-256 over the
+// canonical JSON encoding of the spec plus the harness cache version.
+// It is the job's identity for caching and result-set ordering.
+func (s JobSpec) Hash() string {
+	blob, err := json.Marshal(s)
+	if err != nil {
+		panic(fmt.Sprintf("harness: spec not marshalable: %v", err))
+	}
+	h := sha256.New()
+	io.WriteString(h, cacheVersion)
+	h.Write([]byte{0})
+	h.Write(blob)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Label is a short human-readable job name for progress reporting.
+func (s JobSpec) Label() string {
+	if s.Kind == "litmus" {
+		return fmt.Sprintf("litmus:%s", s.Name)
+	}
+	return fmt.Sprintf("%s/p%d", s.Name, s.Cores)
+}
+
+// ReplayOutcome is the verified replay of one recorded mode.
+type ReplayOutcome struct {
+	OpsReplayed   int64   `json:"ops_replayed"`
+	MismatchCount int64   `json:"mismatch_count"`
+	OrderBreaks   int64   `json:"order_breaks"`
+	Deterministic bool    `json:"deterministic"`
+	Slowdown      float64 `json:"slowdown"` // vs native, fraction (Fig. 12)
+}
+
+// ModeResult is everything one recorder mode produced for a job.
+type ModeResult struct {
+	Mode string `json:"mode"`
+	// Log statistics under the wire encoding (Fig. 11 raw material).
+	Chunks     int   `json:"chunks"`
+	DEntries   int   `json:"d_entries"`
+	PEntries   int   `json:"p_entries"`
+	VEntries   int   `json:"v_entries"`
+	PredEdges  int   `json:"pred_edges"`
+	BaseBytes  int64 `json:"base_bytes"`
+	TotalBytes int64 `json:"total_bytes"`
+	// OverheadVsKarma is the Fig. 11 metric; only meaningful when the
+	// job also recorded karma (HasOverhead).
+	OverheadVsKarma float64 `json:"overhead_vs_karma"`
+	HasOverhead     bool    `json:"has_overhead"`
+	// LHBMax is the Fig. 13 metric (high-water LHB occupancy).
+	LHBMax int            `json:"lhb_max"`
+	Replay *ReplayOutcome `json:"replay,omitempty"`
+}
+
+// Result is the complete, deterministic outcome of one job. It contains
+// no wall-clock or host-dependent data, so equal specs always produce
+// byte-identical Results regardless of scheduling — the property the
+// determinism tests pin down.
+type Result struct {
+	Spec         JobSpec      `json:"spec"`
+	SpecHash     string       `json:"spec_hash"`
+	NativeCycles int64        `json:"native_cycles"`
+	MemOps       int64        `json:"mem_ops"`
+	Modes        []ModeResult `json:"modes"`
+}
+
+// Mode returns the ModeResult for the named mode (nil if absent).
+func (r *Result) Mode(name string) *ModeResult {
+	for i := range r.Modes {
+		if r.Modes[i].Mode == name {
+			return &r.Modes[i]
+		}
+	}
+	return nil
+}
+
+// Outcome wraps a Result with the scheduling metadata that is NOT part
+// of the deterministic result set: wall time, cache provenance, errors.
+type Outcome struct {
+	Spec   JobSpec
+	Hash   string
+	Result *Result // nil if the job failed
+	Err    error   // non-nil if the job panicked, timed out or errored
+	Cached bool    // served from the on-disk result cache
+	Wall   time.Duration
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Workers is the worker-pool size; <= 0 means GOMAXPROCS.
+	Workers int
+	// Timeout bounds each job's wall time; 0 means no limit. A job that
+	// exceeds it is reported failed (Outcome.Err) without disturbing
+	// sibling jobs; its goroutine is abandoned (Go cannot kill it) and
+	// its result, if it ever finishes, is discarded.
+	Timeout time.Duration
+	// Cache, if non-nil, is consulted before running a job and updated
+	// after a successful run.
+	Cache *Cache
+	// Progress, if non-nil, receives one line per finished job with a
+	// running count, cache statistics and an ETA (stderr in the CLIs).
+	Progress io.Writer
+
+	// run overrides job execution (tests only; nil = Execute).
+	run func(JobSpec) (*Result, error)
+}
+
+// Run executes every spec on a worker pool and returns one Outcome per
+// spec, in spec order. It never returns an error itself: per-job
+// failures (panic, timeout, simulation error) are carried in the
+// corresponding Outcome so that one bad job cannot abort a sweep.
+func Run(specs []JobSpec, opts Options) []Outcome {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) && len(specs) > 0 {
+		workers = len(specs)
+	}
+	runJob := opts.run
+	if runJob == nil {
+		runJob = Execute
+	}
+
+	outcomes := make([]Outcome, len(specs))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+
+	prog := newProgress(opts.Progress, len(specs))
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				outcomes[i] = runOne(specs[i], opts, runJob)
+				prog.done(outcomes[i])
+			}
+		}()
+	}
+	for i := range specs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return outcomes
+}
+
+// runOne runs a single job: cache lookup, guarded execution with
+// timeout, cache store.
+func runOne(spec JobSpec, opts Options, runJob func(JobSpec) (*Result, error)) Outcome {
+	start := time.Now()
+	hash := spec.Hash()
+	o := Outcome{Spec: spec, Hash: hash}
+
+	if opts.Cache != nil {
+		if res, ok := opts.Cache.Get(hash); ok {
+			o.Result, o.Cached, o.Wall = res, true, time.Since(start)
+			return o
+		}
+	}
+
+	res, err := runGuarded(spec, opts.Timeout, runJob)
+	o.Result, o.Err, o.Wall = res, err, time.Since(start)
+
+	if err == nil && opts.Cache != nil {
+		// A cache write failure degrades to a miss on the next run; it
+		// must not fail a job that simulated successfully.
+		_ = opts.Cache.Put(res)
+	}
+	return o
+}
+
+// jobReply carries a guarded job's result out of its goroutine.
+type jobReply struct {
+	res *Result
+	err error
+}
+
+// runGuarded executes one job in its own goroutine with panic recovery
+// and an optional deadline.
+func runGuarded(spec JobSpec, timeout time.Duration, runJob func(JobSpec) (*Result, error)) (*Result, error) {
+	reply := make(chan jobReply, 1) // buffered: a late finisher must not leak forever blocked
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				buf := make([]byte, 4096)
+				buf = buf[:runtime.Stack(buf, false)]
+				reply <- jobReply{err: fmt.Errorf("harness: job %s panicked: %v\n%s", spec.Label(), p, buf)}
+			}
+		}()
+		res, err := runJob(spec)
+		reply <- jobReply{res: res, err: err}
+	}()
+
+	if timeout <= 0 {
+		r := <-reply
+		return r.res, r.err
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case r := <-reply:
+		return r.res, r.err
+	case <-timer.C:
+		return nil, fmt.Errorf("harness: job %s exceeded timeout %v", spec.Label(), timeout)
+	}
+}
+
+// Results extracts the successful results of a sweep as a deterministic,
+// order-independent set: sorted by spec hash, independent of worker
+// scheduling and of the order specs were submitted in.
+func Results(outcomes []Outcome) []*Result {
+	var rs []*Result
+	for i := range outcomes {
+		if outcomes[i].Result != nil {
+			rs = append(rs, outcomes[i].Result)
+		}
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].SpecHash < rs[j].SpecHash })
+	return rs
+}
+
+// Errs collects the failed outcomes of a sweep.
+func Errs(outcomes []Outcome) []Outcome {
+	var bad []Outcome
+	for _, o := range outcomes {
+		if o.Err != nil {
+			bad = append(bad, o)
+		}
+	}
+	return bad
+}
+
+// EncodeCanonical serializes a result set to its canonical byte form:
+// hash-sorted, indented JSON. Two sweeps over the same specs — serial,
+// parallel, shuffled — encode to identical bytes.
+func EncodeCanonical(results []*Result) ([]byte, error) {
+	sorted := make([]*Result, len(results))
+	copy(sorted, results)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].SpecHash < sorted[j].SpecHash })
+	return json.MarshalIndent(sorted, "", "  ")
+}
+
+// progress serializes completion reporting across workers.
+type progress struct {
+	mu      sync.Mutex
+	w       io.Writer
+	total   int
+	done_   int
+	cached  int
+	failed  int
+	start   time.Time
+	simWall time.Duration // wall time of non-cached jobs, for the ETA
+}
+
+func newProgress(w io.Writer, total int) *progress {
+	return &progress{w: w, total: total, start: time.Now()}
+}
+
+func (p *progress) done(o Outcome) {
+	if p.w == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done_++
+	status := "ok"
+	switch {
+	case o.Err != nil:
+		p.failed++
+		status = "FAILED"
+	case o.Cached:
+		p.cached++
+		status = "cached"
+	}
+	if !o.Cached && o.Err == nil {
+		p.simWall += o.Wall
+	}
+	eta := "?"
+	if ran := p.done_ - p.cached; ran > 0 {
+		perJob := time.Since(p.start) / time.Duration(p.done_)
+		remaining := perJob * time.Duration(p.total-p.done_)
+		eta = remaining.Round(100 * time.Millisecond).String()
+	} else if p.done_ > 0 { // everything cached so far: ETA is effectively zero
+		eta = "0s"
+	}
+	fmt.Fprintf(p.w, "harness: %d/%d %-9s %-16s wall %-8s cached %d failed %d eta %s\n",
+		p.done_, p.total, status, o.Spec.Label(),
+		o.Wall.Round(time.Millisecond), p.cached, p.failed, eta)
+}

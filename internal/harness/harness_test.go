@@ -1,0 +1,412 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testSpecs is a small but representative fleet: several apps at two
+// machine sizes plus litmus tests, all modes the figures use, with
+// replay verification on.
+func testSpecs() []JobSpec {
+	var specs []JobSpec
+	for _, app := range []string{"fft", "lu", "radix"} {
+		for _, n := range []int{4, 8} {
+			specs = append(specs, JobSpec{
+				Kind: "app", Name: app, Cores: n, Ops: 300, Seed: 1,
+				Atomic: true, Modes: []string{"karma", "vol", "gra"}, Replay: true,
+			})
+		}
+	}
+	for _, l := range []string{"sb", "mp"} {
+		specs = append(specs, JobSpec{
+			Kind: "litmus", Name: l, Seed: 1, Atomic: true,
+			Modes: []string{"karma", "gra"}, Replay: true,
+		})
+	}
+	return specs
+}
+
+func mustResults(t *testing.T, outcomes []Outcome) []*Result {
+	t.Helper()
+	for _, o := range Errs(outcomes) {
+		t.Fatalf("job %s failed: %v", o.Spec.Label(), o.Err)
+	}
+	return Results(outcomes)
+}
+
+// TestParallelSerialDeterminism is the harness's load-bearing test: a
+// serial sweep, a parallel sweep, and a parallel sweep over the same
+// specs in reversed submission order must all encode to byte-identical
+// canonical result sets. This is also the certificate that the
+// simulator stack (Machine / trace / record / replay) shares no hidden
+// mutable globals — any cross-job state would perturb at least one
+// parallel schedule.
+func TestParallelSerialDeterminism(t *testing.T) {
+	specs := testSpecs()
+
+	serial := mustResults(t, Run(specs, Options{Workers: 1}))
+	parallel := mustResults(t, Run(specs, Options{Workers: 8}))
+
+	reversed := make([]JobSpec, len(specs))
+	for i, s := range specs {
+		reversed[len(specs)-1-i] = s
+	}
+	shuffled := mustResults(t, Run(reversed, Options{Workers: 8}))
+
+	enc := func(rs []*Result) []byte {
+		b, err := EncodeCanonical(rs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b, c := enc(serial), enc(parallel), enc(shuffled)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("parallel sweep diverged from serial sweep:\nserial %d bytes, parallel %d bytes", len(a), len(b))
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("submission-order-reversed parallel sweep diverged from serial sweep")
+	}
+	if len(serial) != len(specs) {
+		t.Fatalf("got %d results for %d specs", len(serial), len(specs))
+	}
+}
+
+// TestRunOutcomesInSpecOrder pins the Outcome-slice contract: index i
+// belongs to specs[i] regardless of completion order.
+func TestRunOutcomesInSpecOrder(t *testing.T) {
+	specs := testSpecs()
+	outcomes := Run(specs, Options{Workers: 4})
+	for i, o := range outcomes {
+		if o.Spec.Label() != specs[i].Label() {
+			t.Fatalf("outcome %d is for %s, want %s", i, o.Spec.Label(), specs[i].Label())
+		}
+		if o.Hash != specs[i].Hash() {
+			t.Fatalf("outcome %d hash mismatch", i)
+		}
+	}
+}
+
+func TestSpecHashIdentity(t *testing.T) {
+	a := JobSpec{Kind: "app", Name: "fft", Cores: 8, Ops: 300, Seed: 1, Atomic: true, Modes: []string{"gra"}}
+	b := a
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal specs must hash equal")
+	}
+	for _, mutate := range []func(*JobSpec){
+		func(s *JobSpec) { s.Name = "lu" },
+		func(s *JobSpec) { s.Cores = 16 },
+		func(s *JobSpec) { s.Ops = 301 },
+		func(s *JobSpec) { s.Seed = 2 },
+		func(s *JobSpec) { s.Atomic = false },
+		func(s *JobSpec) { s.MaxChunkOps = 128 },
+		func(s *JobSpec) { s.Modes = []string{"gra", "karma"} },
+		func(s *JobSpec) { s.Replay = true },
+	} {
+		c := a
+		mutate(&c)
+		if c.Hash() == a.Hash() {
+			t.Fatalf("mutated spec %+v must not collide with %+v", c, a)
+		}
+	}
+}
+
+// fakeResult builds a deterministic Result without running a simulation.
+func fakeResult(spec JobSpec) *Result {
+	return &Result{Spec: spec, SpecHash: spec.Hash(), NativeCycles: 100, MemOps: 10,
+		Modes: []ModeResult{{Mode: "gra", Chunks: 1}}}
+}
+
+func TestCacheHitMissInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := JobSpec{Kind: "app", Name: "fft", Cores: 4, Ops: 300, Seed: 1,
+		Atomic: true, Modes: []string{"karma", "gra"}, Replay: true}
+
+	var executions int
+	runCounted := func(s JobSpec) (*Result, error) {
+		executions++
+		return Execute(s)
+	}
+
+	// Miss, then hit with identical payload.
+	first := Run([]JobSpec{spec}, Options{Workers: 1, Cache: cache, run: runCounted})
+	if first[0].Err != nil || first[0].Cached {
+		t.Fatalf("first run: err=%v cached=%v", first[0].Err, first[0].Cached)
+	}
+	second := Run([]JobSpec{spec}, Options{Workers: 1, Cache: cache, run: runCounted})
+	if second[0].Err != nil || !second[0].Cached {
+		t.Fatalf("second run: err=%v cached=%v", second[0].Err, second[0].Cached)
+	}
+	if executions != 1 {
+		t.Fatalf("spec simulated %d times, want 1", executions)
+	}
+	a, _ := EncodeCanonical(Results(first))
+	b, _ := EncodeCanonical(Results(second))
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached result differs from simulated result")
+	}
+
+	// Any spec change is a different key: the changed job simulates.
+	changed := spec
+	changed.Ops++
+	third := Run([]JobSpec{changed}, Options{Workers: 1, Cache: cache, run: runCounted})
+	if third[0].Cached {
+		t.Fatal("changed spec must miss the cache")
+	}
+	if executions != 2 {
+		t.Fatalf("changed spec simulated %d times total, want 2", executions)
+	}
+	if cache.Len() != 2 {
+		t.Fatalf("cache holds %d entries, want 2", cache.Len())
+	}
+
+	// A corrupt entry is a miss, not an error.
+	if err := os.WriteFile(filepath.Join(dir, spec.Hash()+".json"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(spec.Hash()); ok {
+		t.Fatal("corrupt cache entry served as a hit")
+	}
+
+	// An entry written under a different harness version is a miss.
+	stale, _ := json.Marshal(cacheEntry{Version: "pacifier-harness-v0", SpecHash: spec.Hash(),
+		Result: fakeResult(spec)})
+	if err := os.WriteFile(filepath.Join(dir, spec.Hash()+".json"), stale, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(spec.Hash()); ok {
+		t.Fatal("stale-version cache entry served as a hit")
+	}
+
+	// An entry filed under the wrong hash (tampered or collided) is a miss.
+	wrong, _ := json.Marshal(cacheEntry{Version: cacheVersion, SpecHash: changed.Hash(),
+		Result: fakeResult(changed)})
+	if err := os.WriteFile(filepath.Join(dir, spec.Hash()+".json"), wrong, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cache.Get(spec.Hash()); ok {
+		t.Fatal("hash-mismatched cache entry served as a hit")
+	}
+}
+
+// TestTimeoutFailsJobNotSweep wedges one job forever and checks that it
+// alone is reported failed while every sibling completes.
+func TestTimeoutFailsJobNotSweep(t *testing.T) {
+	specs := []JobSpec{
+		{Kind: "app", Name: "ok-1", Modes: []string{"gra"}},
+		{Kind: "app", Name: "deadlocked", Modes: []string{"gra"}},
+		{Kind: "app", Name: "ok-2", Modes: []string{"gra"}},
+	}
+	block := make(chan struct{})
+	defer close(block) // release the wedged goroutine at test end
+	outcomes := Run(specs, Options{
+		Workers: 3,
+		Timeout: 50 * time.Millisecond,
+		run: func(s JobSpec) (*Result, error) {
+			if s.Name == "deadlocked" {
+				<-block
+			}
+			return fakeResult(s), nil
+		},
+	})
+	if err := outcomes[1].Err; err == nil || !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("wedged job: err = %v, want timeout", err)
+	}
+	for _, i := range []int{0, 2} {
+		if outcomes[i].Err != nil || outcomes[i].Result == nil {
+			t.Fatalf("sibling job %s was disturbed: %v", specs[i].Name, outcomes[i].Err)
+		}
+	}
+	if len(Results(outcomes)) != 2 || len(Errs(outcomes)) != 1 {
+		t.Fatalf("want 2 results + 1 error, got %d + %d",
+			len(Results(outcomes)), len(Errs(outcomes)))
+	}
+}
+
+// TestPanicFailsJobNotSweep crashes one job and checks panic recovery.
+func TestPanicFailsJobNotSweep(t *testing.T) {
+	specs := []JobSpec{
+		{Kind: "app", Name: "ok", Modes: []string{"gra"}},
+		{Kind: "app", Name: "bomb", Modes: []string{"gra"}},
+	}
+	outcomes := Run(specs, Options{
+		Workers: 2,
+		run: func(s JobSpec) (*Result, error) {
+			if s.Name == "bomb" {
+				panic("simulated deadlock detector tripped")
+			}
+			return fakeResult(s), nil
+		},
+	})
+	if err := outcomes[1].Err; err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("bomb job: err = %v, want panic report", err)
+	}
+	if outcomes[0].Err != nil {
+		t.Fatalf("sibling job failed: %v", outcomes[0].Err)
+	}
+}
+
+// TestExecuteRejectsBadSpecs pins the validation errors jobs fail with.
+func TestExecuteRejectsBadSpecs(t *testing.T) {
+	for _, tc := range []struct {
+		spec JobSpec
+		want string
+	}{
+		{JobSpec{Kind: "app", Name: "fft", Cores: 4, Ops: 0, Seed: 1, Modes: []string{"gra"}}, "ops >= 1"},
+		{JobSpec{Kind: "app", Name: "fft", Cores: 1, Ops: 10, Seed: 1, Modes: []string{"gra"}}, "cores >= 2"},
+		{JobSpec{Kind: "app", Name: "nope", Cores: 4, Ops: 10, Seed: 1, Modes: []string{"gra"}}, "nope"},
+		{JobSpec{Kind: "litmus", Name: "nope", Modes: []string{"gra"}}, "litmus"},
+		{JobSpec{Kind: "weird", Name: "fft", Modes: []string{"gra"}}, "kind"},
+		{JobSpec{Kind: "app", Name: "fft", Cores: 4, Ops: 10, Seed: 1}, "no recorder modes"},
+		{JobSpec{Kind: "app", Name: "fft", Cores: 4, Ops: 10, Seed: 1, Modes: []string{"bogus"}}, "unknown mode"},
+	} {
+		_, err := Execute(tc.spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Execute(%+v): err = %v, want containing %q", tc.spec, err, tc.want)
+		}
+	}
+}
+
+// TestExecuteMetricsMatchFigures cross-checks one real job against the
+// metrics the figure tables are built from.
+func TestExecuteMetricsMatchFigures(t *testing.T) {
+	spec := JobSpec{Kind: "app", Name: "radix", Cores: 8, Ops: 400, Seed: 1,
+		Atomic: true, Modes: []string{"karma", "vol", "gra"}, Replay: true}
+	res, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpecHash != spec.Hash() {
+		t.Fatal("result not stamped with its spec hash")
+	}
+	if res.MemOps <= 0 || res.NativeCycles <= 0 {
+		t.Fatalf("degenerate run: %d ops, %d cycles", res.MemOps, res.NativeCycles)
+	}
+	if len(res.Modes) != 3 {
+		t.Fatalf("got %d mode results, want 3", len(res.Modes))
+	}
+	karma, gra := res.Mode("karma"), res.Mode("gra")
+	if karma == nil || gra == nil {
+		t.Fatal("karma/gra mode results missing")
+	}
+	if !gra.HasOverhead {
+		t.Fatal("gra overhead vs co-recorded karma missing")
+	}
+	if gra.TotalBytes < karma.TotalBytes {
+		t.Fatalf("gra log (%d B) smaller than karma log (%d B)", gra.TotalBytes, karma.TotalBytes)
+	}
+	if gra.Replay == nil || !gra.Replay.Deterministic {
+		t.Fatalf("Granule replay not deterministic: %+v", gra.Replay)
+	}
+	if gra.Replay.OpsReplayed != res.MemOps {
+		t.Fatalf("replayed %d of %d ops", gra.Replay.OpsReplayed, res.MemOps)
+	}
+}
+
+func TestEmittersAreOrderIndependent(t *testing.T) {
+	specs := []JobSpec{
+		{Kind: "app", Name: "fft", Cores: 4, Ops: 200, Seed: 1, Atomic: true,
+			Modes: []string{"karma", "vol", "gra"}, Replay: true},
+		{Kind: "app", Name: "lu", Cores: 4, Ops: 200, Seed: 1, Atomic: true,
+			Modes: []string{"karma", "vol", "gra"}, Replay: true},
+	}
+	results := mustResults(t, Run(specs, Options{Workers: 2}))
+	flipped := []*Result{results[1], results[0]}
+
+	for _, emit := range []struct {
+		name string
+		fn   func([]*Result) ([]byte, error)
+	}{
+		{"jsonl", func(rs []*Result) ([]byte, error) {
+			var buf bytes.Buffer
+			err := WriteJSONL(&buf, rs)
+			return buf.Bytes(), err
+		}},
+		{"csv", func(rs []*Result) ([]byte, error) {
+			var buf bytes.Buffer
+			err := WriteCSV(&buf, rs)
+			return buf.Bytes(), err
+		}},
+		{"canonical", EncodeCanonical},
+		{"tables", func(rs []*Result) ([]byte, error) {
+			var buf bytes.Buffer
+			FigureTables(&buf, rs, 0)
+			return buf.Bytes(), nil
+		}},
+	} {
+		a, err := emit.fn(results)
+		if err != nil {
+			t.Fatalf("%s: %v", emit.name, err)
+		}
+		b, err := emit.fn(flipped)
+		if err != nil {
+			t.Fatalf("%s: %v", emit.name, err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s emitter output depends on result order", emit.name)
+		}
+		if len(a) == 0 {
+			t.Errorf("%s emitter produced no output", emit.name)
+		}
+	}
+}
+
+func TestFigureTablesLayout(t *testing.T) {
+	var specs []JobSpec
+	for _, app := range []string{"fft", "radix"} {
+		for _, n := range []int{4, 8} {
+			specs = append(specs, JobSpec{Kind: "app", Name: app, Cores: n, Ops: 200,
+				Seed: 1, Atomic: true, Modes: []string{"karma", "vol", "gra"}, Replay: true})
+		}
+	}
+	results := mustResults(t, Run(specs, Options{Workers: 4}))
+	var buf bytes.Buffer
+	FigureTables(&buf, results, 0)
+	out := buf.String()
+	for _, w := range []string{
+		"Figure 11: log size increase over Karma (%)",
+		"Figure 12: replay slowdown vs native (%)",
+		"Figure 13: maximum LHB entries occupied (16 configured)",
+		"vol/p4", "gra/p8", "krm/p4",
+		"fft", "radix", "average", "worst case:",
+	} {
+		if !strings.Contains(out, w) {
+			t.Fatalf("figure tables missing %q in:\n%s", w, out)
+		}
+	}
+	// Single-figure selection renders only that figure.
+	buf.Reset()
+	FigureTables(&buf, results, 13)
+	if s := buf.String(); strings.Contains(s, "Figure 11") || !strings.Contains(s, "Figure 13") {
+		t.Fatalf("fig=13 selection rendered wrong tables:\n%s", s)
+	}
+}
+
+// TestProgressReporting checks the stderr stream: one line per job with
+// running counts.
+func TestProgressReporting(t *testing.T) {
+	specs := testSpecs()[:4]
+	var buf bytes.Buffer
+	Run(specs, Options{Workers: 2, Progress: &buf,
+		run: func(s JobSpec) (*Result, error) { return fakeResult(s), nil }})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(specs) {
+		t.Fatalf("got %d progress lines for %d jobs:\n%s", len(lines), len(specs), buf.String())
+	}
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, fmt.Sprintf("%d/%d", len(specs), len(specs))) {
+		t.Fatalf("final progress line lacks completion count: %q", last)
+	}
+}

@@ -12,6 +12,7 @@ package record
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"pacifier/internal/cache"
 	"pacifier/internal/coherence"
@@ -61,6 +62,33 @@ func (m Mode) String() string {
 		return "vol"
 	}
 	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// AllModes lists every recorder mode in declaration order.
+func AllModes() []Mode {
+	return []Mode{ModeKarma, ModeRAll, ModeRBound, ModeMoveBound, ModeGranule, ModeVolition}
+}
+
+// ModeNames lists the figure-style names of every mode, in the same
+// order as AllModes.
+func ModeNames() []string {
+	ms := AllModes()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.String()
+	}
+	return names
+}
+
+// ParseMode maps a figure-style name ("karma", "r-all", "r-bound",
+// "move", "gra", "vol") back to its Mode.
+func ParseMode(name string) (Mode, error) {
+	for _, m := range AllModes() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("record: unknown mode %q (valid: %s)", name, strings.Join(ModeNames(), ", "))
 }
 
 // Config parameterizes a Recorder.

@@ -56,6 +56,24 @@ const (
 	Volition = record.ModeVolition
 )
 
+// ParseMode maps a figure-style mode name ("karma", "r-all", "r-bound",
+// "move", "gra", "vol") to its Mode; Mode's String method is its
+// inverse.
+func ParseMode(name string) (Mode, error) { return record.ParseMode(name) }
+
+// ModeNames lists every recorder mode's figure-style name.
+func ModeNames() []string { return record.ModeNames() }
+
+// DecodeLogStats parses a log in the wire encoding (as written by
+// EncodedLog / `pacifier -save`) and returns its statistics.
+func DecodeLogStats(blob []byte) (LogStats, error) {
+	log, err := relog.DecodeLog(blob)
+	if err != nil {
+		return LogStats{}, err
+	}
+	return log.ComputeStats(), nil
+}
+
 // Options configures a recording run.
 type Options struct {
 	// Seed drives every random choice in the machine (store-buffer
