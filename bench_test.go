@@ -46,8 +46,14 @@ func BenchmarkFigure11LogSize(b *testing.B) {
 			b.Run(fmt.Sprintf("%s/p%d", app, n), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					run := runFig(b, app, n)
-					vol, _ := run.LogOverhead(Volition)
-					gra, _ := run.LogOverhead(Granule)
+					vol, err := run.LogOverhead(Volition)
+					if err != nil {
+						b.Fatal(err)
+					}
+					gra, err := run.LogOverhead(Granule)
+					if err != nil {
+						b.Fatal(err)
+					}
 					b.ReportMetric(vol*100, "vol_log_increase_%")
 					b.ReportMetric(gra*100, "gra_log_increase_%")
 					b.ReportMetric(float64(run.LogStats(Karma).TotalBytes), "karma_bytes")
@@ -147,7 +153,10 @@ func BenchmarkAblationNonAtomic(b *testing.B) {
 						b.Fatalf("replay diverged: %d mismatches", res.MismatchCount)
 					}
 					b.ReportMetric(float64(run.LogStats(Granule).VEntries), "value_logs")
-					gra, _ := run.LogOverhead(Granule)
+					gra, err := run.LogOverhead(Granule)
+					if err != nil {
+						b.Fatal(err)
+					}
 					b.ReportMetric(gra*100, "gra_log_increase_%")
 				}
 			})

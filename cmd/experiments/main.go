@@ -17,9 +17,12 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -29,6 +32,22 @@ import (
 	"pacifier"
 )
 
+// interruptChannel converts SIGINT into a harness interrupt: the first
+// ^C stops dispatching and flushes completed results; a second ^C kills
+// the process the normal way.
+func interruptChannel(name string) <-chan struct{} {
+	interrupt := make(chan struct{})
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		<-ch
+		signal.Stop(ch)
+		fmt.Fprintf(os.Stderr, "%s: interrupted — flushing completed results (^C again to kill)\n", name)
+		close(interrupt)
+	}()
+	return interrupt
+}
+
 func main() {
 	var (
 		fig      = flag.Int("fig", 0, "figure to regenerate (11, 12, 13; 0 = all)")
@@ -37,27 +56,61 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "simulation seed (>= 1)")
 		jobs     = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "per-job timeout (0 = none)")
-		cacheDir = flag.String("cache-dir", harness.DefaultCacheDir, "result cache directory")
-		noCache  = flag.Bool("no-cache", false, "disable the result cache")
+		cacheDir   = flag.String("cache-dir", harness.DefaultCacheDir, "result cache directory")
+		noCache    = flag.Bool("no-cache", false, "disable the result cache")
+		partialOut = flag.String("partial-out", "experiments_partial.jsonl",
+			"on SIGINT, flush completed results as JSON lines to this file")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	// finish flushes any requested profiles before exiting; os.Exit skips
+	// defers, so every exit path below must go through it.
+	profiling := false
+	finish := func(code int) {
+		if profiling {
+			pprof.StopCPUProfile()
+		}
+		if *memprofile != "" {
+			if f, err := os.Create(*memprofile); err == nil {
+				pprof.WriteHeapProfile(f)
+				f.Close()
+			} else {
+				fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			}
+		}
+		os.Exit(code)
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		profiling = true
+	}
 
 	// Validate everything up front: a bad value must be a clear CLI
 	// error here, not a panic deep inside workload generation.
 	if *ops < 1 {
 		fmt.Fprintf(os.Stderr, "bad -ops %d: need at least 1 memory operation per thread\n", *ops)
-		os.Exit(1)
+		finish(1)
 	}
 	if *seed == 0 {
 		fmt.Fprintf(os.Stderr, "bad -seed 0: the seed drives every random choice and must be >= 1\n")
-		os.Exit(1)
+		finish(1)
 	}
 	var cores []int
 	for _, s := range strings.Split(*coreArg, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil || n < 2 || n > 64 {
 			fmt.Fprintf(os.Stderr, "bad -cores entry %q\n", s)
-			os.Exit(1)
+			finish(1)
 		}
 		cores = append(cores, n)
 	}
@@ -81,23 +134,30 @@ func main() {
 	}
 
 	opts := harness.Options{
-		Workers:  *jobs,
-		Timeout:  *timeout,
-		Progress: os.Stderr,
+		Workers:   *jobs,
+		Timeout:   *timeout,
+		Progress:  os.Stderr,
+		Interrupt: interruptChannel("experiments"),
 	}
 	if !*noCache {
 		cache, err := harness.OpenCache(*cacheDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
-			os.Exit(1)
+			finish(1)
 		}
 		opts.Cache = cache
 	}
 
 	outcomes := harness.Run(specs, opts)
 
-	failed := harness.Errs(outcomes)
-	for _, o := range failed {
+	var failed []harness.Outcome
+	interrupted := 0
+	for _, o := range harness.Errs(outcomes) {
+		if errors.Is(o.Err, harness.ErrInterrupted) {
+			interrupted++
+			continue
+		}
+		failed = append(failed, o)
 		fmt.Fprintf(os.Stderr, "experiments: job %s failed: %v\n", o.Spec.Label(), o.Err)
 	}
 	results := harness.Results(outcomes)
@@ -108,9 +168,29 @@ func main() {
 		}
 	}
 
+	if interrupted > 0 {
+		// Partial sweep: the figure tables would silently look complete,
+		// so flush what finished as JSON lines instead.
+		f, err := os.Create(*partialOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			finish(1)
+		}
+		if err := harness.WriteJSONL(f, results); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			f.Close()
+			finish(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "experiments: interrupted with %d/%d jobs done — %d results flushed to %s\n",
+			len(results), len(specs), len(results), *partialOut)
+		finish(130)
+	}
+
 	harness.FigureTables(os.Stdout, results, *fig)
 
 	if len(failed) > 0 {
-		os.Exit(1)
+		finish(1)
 	}
+	finish(0)
 }

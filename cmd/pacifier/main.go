@@ -10,14 +10,21 @@
 //	pacifier -app fft -cores 16 -save fft.rrlog
 //	pacifier -load fft.rrlog
 //	pacifier sweep -apps fft,lu -cores 16,32 -format csv
+//	pacifier bench -o BENCH.json
 package main
 
 import (
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"pacifier/internal/harness"
@@ -30,6 +37,10 @@ func main() {
 		sweep(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "bench" {
+		bench(os.Args[2:])
+		return
+	}
 
 	var (
 		app       = flag.String("app", "", "SPLASH-2-like application (see -list)")
@@ -40,10 +51,18 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "simulation seed")
 		modeName  = flag.String("mode", "gra", "recorder: "+strings.Join(pacifier.ModeNames(), ", "))
 		nonatomic = flag.Bool("nonatomic", false, "model non-atomic writes (PowerPC/ARM style)")
-		save      = flag.String("save", "", "write the encoded log to this file")
-		load      = flag.String("load", "", "decode a saved log file, print its stats, and exit")
+		save       = flag.String("save", "", "write the encoded log to this file")
+		load       = flag.String("load", "", "decode a saved log file, print its stats, and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
 	)
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopProfiles()
 
 	if *list {
 		for _, a := range pacifier.Apps() {
@@ -229,7 +248,8 @@ func sweep(args []string) {
 		fail("sweep: nothing to run (empty -apps and -litmus)")
 	}
 
-	opts := harness.Options{Workers: *jobs, Timeout: *timeout, Progress: os.Stderr}
+	opts := harness.Options{Workers: *jobs, Timeout: *timeout, Progress: os.Stderr,
+		Interrupt: interruptChannel()}
 	if !*noCache {
 		cache, err := harness.OpenCache(*cacheDir)
 		if err != nil {
@@ -239,10 +259,19 @@ func sweep(args []string) {
 	}
 
 	outcomes := harness.Run(specs, opts)
+	interrupted := 0
 	for _, o := range harness.Errs(outcomes) {
+		if errors.Is(o.Err, harness.ErrInterrupted) {
+			interrupted++
+			continue
+		}
 		fmt.Fprintf(os.Stderr, "pacifier: sweep job %s failed: %v\n", o.Spec.Label(), o.Err)
 	}
 	results := harness.Results(outcomes)
+	if interrupted > 0 {
+		fmt.Fprintf(os.Stderr, "pacifier: sweep interrupted: flushing %d completed results (%d jobs skipped)\n",
+			len(results), interrupted)
+	}
 
 	dst := os.Stdout
 	if *out != "" {
@@ -272,6 +301,9 @@ func sweep(args []string) {
 		fmt.Fprintf(os.Stderr, "pacifier: sweep done: %d jobs, cache %d hits / %d misses\n",
 			len(specs), hits, misses)
 	}
+	if interrupted > 0 {
+		os.Exit(130)
+	}
 	if len(harness.Errs(outcomes)) > 0 {
 		os.Exit(1)
 	}
@@ -280,4 +312,180 @@ func sweep(args []string) {
 func fail(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "pacifier: "+format+"\n", args...)
 	os.Exit(1)
+}
+
+// startProfiles begins CPU profiling and arranges heap profiling; the
+// returned stop function flushes both (call it on the success path —
+// fail() exits without profiles, which only loses a partial profile).
+func startProfiles(cpuprofile, memprofile string) (stop func(), err error) {
+	stop = func() {}
+	if cpuprofile != "" {
+		f, err := os.Create(cpuprofile)
+		if err != nil {
+			return stop, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return stop, err
+		}
+	}
+	stop = func() {
+		if cpuprofile != "" {
+			pprof.StopCPUProfile()
+		}
+		if memprofile != "" {
+			f, err := os.Create(memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "pacifier: %v\n", err)
+				return
+			}
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "pacifier: %v\n", err)
+			}
+			f.Close()
+		}
+	}
+	return stop, nil
+}
+
+// interruptChannel converts the first SIGINT into a harness interrupt
+// (completed jobs are kept and flushed); a second SIGINT kills the
+// process the normal way.
+func interruptChannel() <-chan struct{} {
+	interrupt := make(chan struct{})
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		<-ch
+		signal.Stop(ch)
+		fmt.Fprintln(os.Stderr, "pacifier: interrupted — flushing completed results (^C again to kill)")
+		close(interrupt)
+	}()
+	return interrupt
+}
+
+// benchCase is one measured benchmark in the BENCH report.
+type benchCase struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	MemopsPerS  float64 `json:"memops_per_s"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchReport is the BENCH_<date>.json schema.
+type benchReport struct {
+	Date      string      `json:"date"`
+	GoVersion string      `json:"go"`
+	GOOS      string      `json:"goos"`
+	GOARCH    string      `json:"goarch"`
+	NumCPU    int         `json:"num_cpu"`
+	Workload  string      `json:"workload"`
+	Bench     []benchCase `json:"benchmarks"`
+}
+
+// bench measures record and replay throughput on one workload and emits
+// a machine-readable BENCH_<date>.json report.
+func bench(args []string) {
+	fs := flag.NewFlagSet("pacifier bench", flag.ExitOnError)
+	var (
+		app        = fs.String("app", "fft", "application to benchmark")
+		cores      = fs.Int("cores", 16, "number of cores (threads)")
+		ops        = fs.Int("ops", 1000, "memory operations per thread")
+		seed       = fs.Uint64("seed", 1, "simulation seed")
+		out        = fs.String("o", "", "output file (default BENCH_<date>.json)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
+	)
+	fs.Parse(args)
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	w, err := pacifier.App(*app, *cores, *ops, *seed)
+	if err != nil {
+		fail("%v", err)
+	}
+	opts := pacifier.Options{Seed: *seed, Atomic: true}
+
+	var memops int64
+	record := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			run, err := pacifier.Record(w, opts, pacifier.Granule)
+			if err != nil {
+				b.Fatal(err)
+			}
+			memops = run.MemOps()
+		}
+	})
+
+	run, err := pacifier.Record(w, opts, pacifier.Granule)
+	if err != nil {
+		fail("record: %v", err)
+	}
+	var replayed int64
+	replay := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := run.Replay(pacifier.Granule)
+			if err != nil {
+				b.Fatal(err)
+			}
+			replayed = res.OpsReplayed
+		}
+	})
+
+	report := benchReport{
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Workload:  fmt.Sprintf("%s/p%d ops=%d seed=%d", *app, *cores, *ops, *seed),
+		Bench: []benchCase{
+			caseFrom("RecordThroughput", record, memops),
+			caseFrom("ReplayThroughput", replay, replayed),
+		},
+	}
+
+	path := *out
+	if path == "" {
+		path = "BENCH_" + report.Date + ".json"
+	}
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fail("%v", err)
+	}
+	blob = append(blob, '\n')
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		fail("%v", err)
+	}
+	for _, c := range report.Bench {
+		fmt.Printf("%-18s %12d ns/op %14.0f memops/s %8d allocs/op\n",
+			c.Name, c.NsPerOp, c.MemopsPerS, c.AllocsPerOp)
+	}
+	fmt.Printf("report written     %s\n", path)
+	stopProfiles()
+}
+
+// caseFrom converts a testing.BenchmarkResult plus the per-iteration
+// memory-operation count into a report row.
+func caseFrom(name string, r testing.BenchmarkResult, opsPerIter int64) benchCase {
+	nsPerOp := r.NsPerOp()
+	memopsPerS := 0.0
+	if nsPerOp > 0 {
+		memopsPerS = float64(opsPerIter) / (float64(nsPerOp) / 1e9)
+	}
+	return benchCase{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     nsPerOp,
+		MemopsPerS:  memopsPerS,
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
 }

@@ -69,6 +69,7 @@ type entry struct {
 type Cache struct {
 	cfg        Config
 	sets       [][]entry // sets[set] has up to Ways entries
+	setSlab    []entry   // backing store first-touched sets carve from
 	offsetBits uint
 	setMask    uint64
 	tick       uint64
@@ -119,6 +120,38 @@ func (c *Cache) Lookup(l Line) State {
 	for i := range c.sets[c.setOf(l)] {
 		if e := &c.sets[c.setOf(l)][i]; e.line == l {
 			return e.state
+		}
+	}
+	return Invalid
+}
+
+// LookupTouch returns the state of line l, marking it most-recently-used
+// if resident. One set scan replaces the Lookup+Touch pair on the
+// controllers' load hit path; the LRU effect is identical.
+func (c *Cache) LookupTouch(l Line) State {
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].line == l {
+			c.tick++
+			set[i].lru = c.tick
+			return set[i].state
+		}
+	}
+	return Invalid
+}
+
+// LookupTouchModified returns the state of line l, marking it
+// most-recently-used only when it is resident in Modified — the store hit
+// path, where a miss-to-upgrade (Shared) must not disturb LRU order.
+func (c *Cache) LookupTouchModified(l Line) State {
+	set := c.sets[c.setOf(l)]
+	for i := range set {
+		if set[i].line == l {
+			if set[i].state == Modified {
+				c.tick++
+				set[i].lru = c.tick
+			}
+			return set[i].state
 		}
 	}
 	return Invalid
@@ -194,6 +227,17 @@ func (c *Cache) Insert(l Line, s State) (Victim, bool) {
 		}
 	}
 	if len(set) < c.cfg.Ways {
+		if cap(set) < c.cfg.Ways {
+			// First touch of this set: carve a full-associativity array
+			// from the slab instead of letting append grow it in steps.
+			if len(c.setSlab) < c.cfg.Ways {
+				c.setSlab = make([]entry, 256*c.cfg.Ways)
+			}
+			ns := c.setSlab[:len(set):c.cfg.Ways]
+			c.setSlab = c.setSlab[c.cfg.Ways:]
+			copy(ns, set)
+			set = ns
+		}
 		c.sets[si] = append(set, entry{line: l, state: s, lru: c.tick, dirty: s == Modified})
 		return Victim{}, false
 	}

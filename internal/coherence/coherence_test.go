@@ -77,12 +77,12 @@ func TestStoreThenLoadSameCore(t *testing.T) {
 	eng, sys := newSys(4, true, obs)
 	var got uint64
 	doneS := false
-	sys.L1(0).Store(0x100, 77, 1, func() {}, func() { doneS = true })
+	sys.L1(0).Store(0x100, 77, 1, func(SN) {}, func(SN) { doneS = true })
 	run(t, eng, sys, 10000)
 	if !doneS {
 		t.Fatal("store never globally performed")
 	}
-	sys.L1(0).Load(0x100, 2, func(v uint64) { got = v })
+	sys.L1(0).Load(0x100, 2, func(_ SN, v uint64) { got = v })
 	run(t, eng, sys, 10000)
 	if got != 77 {
 		t.Fatalf("load got %d, want 77", got)
@@ -95,10 +95,10 @@ func TestStoreThenLoadSameCore(t *testing.T) {
 func TestCrossCoreRAWDependence(t *testing.T) {
 	obs := &testObs{}
 	eng, sys := newSys(4, true, obs)
-	sys.L1(0).Store(0x200, 5, 10, func() {}, func() {})
+	sys.L1(0).Store(0x200, 5, 10, func(SN) {}, func(SN) {})
 	run(t, eng, sys, 10000)
 	var got uint64
-	sys.L1(1).Load(0x200, 20, func(v uint64) { got = v })
+	sys.L1(1).Load(0x200, 20, func(_ SN, v uint64) { got = v })
 	run(t, eng, sys, 10000)
 	if got != 5 {
 		t.Fatalf("remote load got %d, want 5", got)
@@ -118,9 +118,9 @@ func TestCrossCoreWARDependence(t *testing.T) {
 	obs := &testObs{}
 	eng, sys := newSys(4, true, obs)
 	// P1 reads the line first, then P0 writes it: WAR P1 -> P0.
-	sys.L1(1).Load(0x300, 7, func(uint64) {})
+	sys.L1(1).Load(0x300, 7, func(SN, uint64) {})
 	run(t, eng, sys, 10000)
-	sys.L1(0).Store(0x300, 9, 8, func() {}, func() {})
+	sys.L1(0).Store(0x300, 9, 8, func(SN) {}, func(SN) {})
 	run(t, eng, sys, 10000)
 	found := false
 	for _, d := range obs.deps {
@@ -136,9 +136,9 @@ func TestCrossCoreWARDependence(t *testing.T) {
 func TestCrossCoreWAWDependence(t *testing.T) {
 	obs := &testObs{}
 	eng, sys := newSys(4, true, obs)
-	sys.L1(0).Store(0x400, 1, 3, func() {}, func() {})
+	sys.L1(0).Store(0x400, 1, 3, func(SN) {}, func(SN) {})
 	run(t, eng, sys, 10000)
-	sys.L1(2).Store(0x400, 2, 4, func() {}, func() {})
+	sys.L1(2).Store(0x400, 2, 4, func(SN) {}, func(SN) {})
 	run(t, eng, sys, 10000)
 	found := false
 	for _, d := range obs.deps {
@@ -157,15 +157,15 @@ func TestCrossCoreWAWDependence(t *testing.T) {
 func TestInvalidationForcesRefetch(t *testing.T) {
 	obs := &testObs{}
 	eng, sys := newSys(4, true, obs)
-	sys.L1(0).Store(0x500, 1, 1, func() {}, func() {})
+	sys.L1(0).Store(0x500, 1, 1, func(SN) {}, func(SN) {})
 	run(t, eng, sys, 10000)
-	sys.L1(1).Load(0x500, 2, func(uint64) {})
+	sys.L1(1).Load(0x500, 2, func(SN, uint64) {})
 	run(t, eng, sys, 10000)
 	// P0 writes again: P1's copy must be invalidated.
-	sys.L1(0).Store(0x500, 42, 3, func() {}, func() {})
+	sys.L1(0).Store(0x500, 42, 3, func(SN) {}, func(SN) {})
 	run(t, eng, sys, 10000)
 	var got uint64
-	sys.L1(1).Load(0x500, 4, func(v uint64) { got = v })
+	sys.L1(1).Load(0x500, 4, func(_ SN, v uint64) { got = v })
 	run(t, eng, sys, 10000)
 	if got != 42 {
 		t.Fatalf("post-invalidation load got %d, want 42", got)
@@ -186,13 +186,13 @@ func TestStorePerformedLocalBeforeGlobal(t *testing.T) {
 	obs := &testObs{}
 	eng, sys := newSys(16, true, obs)
 	// Give the line to two far sharers so invalidations take a while.
-	sys.L1(14).Load(0x600, 1, func(uint64) {})
-	sys.L1(15).Load(0x600, 1, func(uint64) {})
+	sys.L1(14).Load(0x600, 1, func(SN, uint64) {})
+	sys.L1(15).Load(0x600, 1, func(SN, uint64) {})
 	run(t, eng, sys, 20000)
 	var localAt, doneAt sim.Cycle = -1, -1
 	sys.L1(0).Store(0x600, 9, 2,
-		func() { localAt = eng.Now() },
-		func() { doneAt = eng.Now() })
+		func(SN) { localAt = eng.Now() },
+		func(SN) { doneAt = eng.Now() })
 	run(t, eng, sys, 20000)
 	if localAt < 0 || doneAt < 0 {
 		t.Fatal("store callbacks missing")
@@ -211,12 +211,12 @@ func TestEvictionWritebackPreservesData(t *testing.T) {
 	stride := Addr(32 * 16)
 	for k := 0; k < 3; k++ {
 		a := base + Addr(k)*stride
-		sys.L1(0).Store(a, uint64(100+k), SN(k+1), func() {}, func() {})
+		sys.L1(0).Store(a, uint64(100+k), SN(k+1), func(SN) {}, func(SN) {})
 		run(t, eng, sys, 100000)
 	}
 	// The first line was evicted (2 ways, 3 lines); its data must survive.
 	var got uint64
-	sys.L1(0).Load(base, 10, func(v uint64) { got = v })
+	sys.L1(0).Load(base, 10, func(_ SN, v uint64) { got = v })
 	run(t, eng, sys, 100000)
 	if got != 100 {
 		t.Fatalf("evicted line lost data: got %d, want 100", got)
@@ -236,7 +236,7 @@ func TestRMWMutualExclusion(t *testing.T) {
 		return 0, false
 	}
 	for p := 0; p < 8; p++ {
-		sys.L1(p).RMW(lock, SN(p+1), acquire, func(old uint64, applied bool) {
+		sys.L1(p).RMW(lock, SN(p+1), acquire, func(_ SN, old uint64, applied bool) {
 			tries++
 			if applied {
 				wins++
@@ -261,15 +261,15 @@ func TestRMWReleaseThenReacquire(t *testing.T) {
 	lock := Addr(0x2100)
 	acquire := func(old uint64) (uint64, bool) { return 1, old == 0 }
 	gotIt := false
-	sys.L1(0).RMW(lock, 1, acquire, func(_ uint64, ok bool) { gotIt = ok })
+	sys.L1(0).RMW(lock, 1, acquire, func(_ SN, _ uint64, ok bool) { gotIt = ok })
 	run(t, eng, sys, 50000)
 	if !gotIt {
 		t.Fatal("first acquire failed")
 	}
-	sys.L1(0).Store(lock, 0, 2, func() {}, func() {}) // release
+	sys.L1(0).Store(lock, 0, 2, func(SN) {}, func(SN) {}) // release
 	run(t, eng, sys, 50000)
 	got2 := false
-	sys.L1(3).RMW(lock, 1, acquire, func(_ uint64, ok bool) { got2 = ok })
+	sys.L1(3).RMW(lock, 1, acquire, func(_ SN, _ uint64, ok bool) { got2 = ok })
 	run(t, eng, sys, 50000)
 	if !got2 {
 		t.Fatal("second core could not acquire released lock")
@@ -292,22 +292,22 @@ func atomicityProbe(t *testing.T, atomic bool) []readObservation {
 	a := Addr(0x3000)
 	// Seed: writer-to-be owns the line... no: start with the line shared
 	// by tiles 12 and 15 (far from tile 0).
-	sys.L1(12).Load(a, 1, func(uint64) {})
-	sys.L1(15).Load(a, 1, func(uint64) {})
+	sys.L1(12).Load(a, 1, func(SN, uint64) {})
+	sys.L1(15).Load(a, 1, func(SN, uint64) {})
 	run(t, eng, sys, 50000)
 
 	var reads []readObservation
 	// Tile 0 writes; tile 1 (adjacent) reads as soon as the writer has
 	// data; tile 15 reads from its own stale copy just after.
-	sys.L1(0).Store(a, 999, 2, func() {
-		sys.L1(1).Load(a, 3, func(v uint64) {
+	sys.L1(0).Store(a, 999, 2, func(SN) {
+		sys.L1(1).Load(a, 3, func(_ SN, v uint64) {
 			reads = append(reads, readObservation{1, eng.Now(), v})
 		})
-	}, func() {})
+	}, func(SN) {})
 	// Tile 15 reads its cached copy shortly after the write starts; with
 	// a hit latency of 2 this lands before the invalidation arrives.
 	eng.After(30, func() {
-		sys.L1(15).Load(a, 4, func(v uint64) {
+		sys.L1(15).Load(a, 4, func(_ SN, v uint64) {
 			reads = append(reads, readObservation{15, eng.Now(), v})
 		})
 	})
@@ -362,14 +362,14 @@ func TestNonAtomicValueLogProtocol(t *testing.T) {
 	}}
 	eng, sys := newSys(16, false, obs)
 	a := Addr(0x4000)
-	sys.L1(12).Load(a, 1, func(uint64) {})
-	sys.L1(15).Load(a, 1, func(uint64) {})
+	sys.L1(12).Load(a, 1, func(SN, uint64) {})
+	sys.L1(15).Load(a, 1, func(SN, uint64) {})
 	run(t, eng, sys, 50000)
-	sys.L1(0).Store(a, 5, 2, func() {
+	sys.L1(0).Store(a, 5, 2, func(SN) {
 		// As soon as the writer has the data, an adjacent reader is
 		// forwarded the new value (non-atomic mode unblocks the home).
-		sys.L1(1).Load(a, 3, func(uint64) {})
-	}, func() {})
+		sys.L1(1).Load(a, 3, func(SN, uint64) {})
+	}, func(SN) {})
 	run(t, eng, sys, 100000)
 	if len(obs.holds) == 0 {
 		t.Fatal("sharer never held its PW entry")
@@ -400,9 +400,9 @@ func TestAtomicModeNeverQueriesPW(t *testing.T) {
 	}}
 	eng, sys := newSys(4, true, obs)
 	a := Addr(0x5000)
-	sys.L1(1).Load(a, 1, func(uint64) {})
+	sys.L1(1).Load(a, 1, func(SN, uint64) {})
 	run(t, eng, sys, 50000)
-	sys.L1(0).Store(a, 5, 2, func() {}, func() {})
+	sys.L1(0).Store(a, 5, 2, func(SN) {}, func(SN) {})
 	run(t, eng, sys, 50000)
 	if len(obs.holds) != 0 || len(obs.logs) != 0 {
 		t.Fatal("atomic mode used the Section 3.2 machinery")
@@ -414,11 +414,11 @@ func TestManySharersAllInvalidated(t *testing.T) {
 	eng, sys := newSys(16, true, obs)
 	a := Addr(0x6000)
 	for p := 1; p < 16; p++ {
-		sys.L1(p).Load(a, 1, func(uint64) {})
+		sys.L1(p).Load(a, 1, func(SN, uint64) {})
 	}
 	run(t, eng, sys, 100000)
 	done := false
-	sys.L1(0).Store(a, 1234, 2, func() {}, func() { done = true })
+	sys.L1(0).Store(a, 1234, 2, func(SN) {}, func(SN) { done = true })
 	run(t, eng, sys, 100000)
 	if !done {
 		t.Fatal("store with 15 sharers never completed")
@@ -434,7 +434,7 @@ func TestManySharersAllInvalidated(t *testing.T) {
 	}
 	for p := 1; p < 16; p++ {
 		var got uint64
-		sys.L1(p).Load(a, 3, func(v uint64) { got = v })
+		sys.L1(p).Load(a, 3, func(_ SN, v uint64) { got = v })
 		run(t, eng, sys, 100000)
 		if got != 1234 {
 			t.Fatalf("core %d read %d after invalidation, want 1234", p, got)
@@ -471,11 +471,11 @@ func TestStressRandomTrafficQuiesces(t *testing.T) {
 					}
 					writtenVals[a][v] = true
 					eng.After(delay, func() {
-						sys.L1(p).Store(a, v, mySN, func() {}, func() { completed++ })
+						sys.L1(p).Store(a, v, mySN, func(SN) {}, func(SN) { completed++ })
 					})
 				} else {
 					eng.After(delay, func() {
-						sys.L1(p).Load(a, mySN, func(got uint64) {
+						sys.L1(p).Load(a, mySN, func(_ SN, got uint64) {
 							completed++
 							if got != 0 && !writtenVals[a][got] {
 								t.Errorf("load of %#x returned %d, never written", a, got)
@@ -509,11 +509,11 @@ func TestQuiescedInitially(t *testing.T) {
 func TestReadBackingAfterWriteback(t *testing.T) {
 	obs := &testObs{}
 	eng, sys := newSys(4, true, obs)
-	sys.L1(0).Store(0x100, 7, 1, func() {}, func() {})
+	sys.L1(0).Store(0x100, 7, 1, func(SN) {}, func(SN) {})
 	run(t, eng, sys, 50000)
 	// Dirty in P0's L1; the backing image is stale until someone forces
 	// a writeback. A remote read forwards and writes back.
-	sys.L1(1).Load(0x100, 2, func(uint64) {})
+	sys.L1(1).Load(0x100, 2, func(SN, uint64) {})
 	run(t, eng, sys, 50000)
 	if sys.ReadBacking(0x100) != 7 {
 		t.Fatalf("backing = %d after forward-writeback, want 7", sys.ReadBacking(0x100))

@@ -52,6 +52,18 @@ type System struct {
 	homes []*home
 
 	lineWords uint // words per line
+
+	// bufFree recycles transient line-sized payload buffers (data message
+	// bodies, writeback copies). Buffers are returned after the receiver
+	// has copied them into its own storage; long-lived images never come
+	// from here. PutM payloads alias the sender's wb buffer and must not
+	// be pooled.
+	bufFree [][]uint64
+	// wordSlab carves long-lived line images/data arrays out of large
+	// chunks so each resident line does not cost its own allocation.
+	wordSlab []uint64
+	// evtFree recycles in-flight message events (see msgEvt).
+	evtFree []*msgEvt
 }
 
 // NewSystem builds the memory system. obs may be nil for a bare machine.
@@ -105,7 +117,11 @@ func (s *System) wordIdx(a Addr) int {
 // verifier after Drain.
 func (s *System) ReadBacking(a Addr) uint64 {
 	l := s.LineOf(a)
-	return s.homeOf(l).data(l)[s.wordIdx(a)]
+	hs := s.homeOf(l).peek(l)
+	if hs == nil || hs.img == nil {
+		return 0
+	}
+	return hs.img[s.wordIdx(a)]
 }
 
 // ReadCoherent returns the current coherent value of a word: the owner's
@@ -113,17 +129,25 @@ func (s *System) ReadBacking(a Addr) uint64 {
 // helper (zero time); used by the functional verifier.
 func (s *System) ReadCoherent(a Addr) uint64 {
 	l := s.LineOf(a)
-	h := s.homeOf(l)
-	st := h.state(l)
-	if st.owner >= 0 {
-		if d, ok := s.l1s[st.owner].data[l]; ok {
-			return (*d)[s.wordIdx(a)]
-		}
-		if d, ok := s.l1s[st.owner].wbBuf[l]; ok {
-			return d[s.wordIdx(a)]
+	hs := s.homeOf(l).peek(l)
+	if hs == nil {
+		return 0
+	}
+	if hs.st.owner >= 0 {
+		c := s.l1s[hs.st.owner]
+		if cs := c.peek(l); cs != nil {
+			if cs.data != nil && c.arr.Lookup(l) != cache.Invalid {
+				return cs.data[s.wordIdx(a)]
+			}
+			if cs.wbValid {
+				return cs.wb[s.wordIdx(a)]
+			}
 		}
 	}
-	return h.data(l)[s.wordIdx(a)]
+	if hs.img == nil {
+		return 0
+	}
+	return hs.img[s.wordIdx(a)]
 }
 
 // Quiesced reports whether no coherence transaction is in flight anywhere.
@@ -134,11 +158,41 @@ func (s *System) Quiesced() bool {
 		}
 	}
 	for _, c := range s.l1s {
-		if len(c.mshrs) > 0 || len(c.wbBuf) > 0 {
+		if c.nMSHR > 0 || c.nWB > 0 {
 			return false
 		}
 	}
 	return s.eng.Pending() == 0
+}
+
+// getBuf returns a zeroed-length line-sized scratch buffer for a message
+// payload. Pair with putBuf once the contents have been copied out.
+func (s *System) getBuf() []uint64 {
+	if n := len(s.bufFree); n > 0 {
+		b := s.bufFree[n-1]
+		s.bufFree = s.bufFree[:n-1]
+		return b
+	}
+	return make([]uint64, s.lineWords)
+}
+
+// putBuf recycles a buffer obtained from getBuf.
+func (s *System) putBuf(b []uint64) {
+	if b != nil {
+		s.bufFree = append(s.bufFree, b)
+	}
+}
+
+// newLineWords carves a line-sized word array from the slab. The result
+// is long-lived (a cache data image); it is never recycled.
+func (s *System) newLineWords() []uint64 {
+	n := int(s.lineWords)
+	if len(s.wordSlab) < n {
+		s.wordSlab = make([]uint64, 1024*n)
+	}
+	w := s.wordSlab[:n:n]
+	s.wordSlab = s.wordSlab[n:]
+	return w
 }
 
 // ctrl and data message sizes in flits.

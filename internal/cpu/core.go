@@ -59,7 +59,25 @@ type fwdEntry struct {
 	val uint64
 }
 
+// rmwRetry is a pooled spin-retry event: re-arming a busy lock's RMW
+// must not allocate a fresh closure on every backoff.
+type rmwRetry struct {
+	c  *Core
+	sn SN
+	fn func()
+}
+
+func (rt *rmwRetry) fire() {
+	c, sn := rt.c, rt.sn
+	c.retryFree = append(c.retryFree, rt)
+	c.issueRMW(sn)
+}
+
 // Core executes one thread's trace against its L1, reordering per RC.
+//
+// The window and store buffer are fixed-capacity rings of values; memory
+// ops are identified by SN in the L1's completion callbacks, so the
+// steady-state issue/complete path allocates nothing.
 type Core struct {
 	pid  int
 	cfg  Config
@@ -70,17 +88,41 @@ type Core struct {
 	hub  *BarrierHub
 	prog trace.Thread
 
-	pc          int
-	nextSN      SN
-	window      []*inst
-	sb          []*sbEntry
+	pc     int
+	nextSN SN
+
+	win     []inst // ring: window entries, SN-contiguous oldest-first
+	winHead int
+	winLen  int
+
+	sb       []sbEntry // ring: store buffer, SN order oldest-first
+	sbHead   int
+	sbLen    int
+	sbIssued int // issued entries form the ring's prefix (FIFO issue)
+
 	sbInFlight  int
 	busyUntil   sim.Cycle
 	atBarrier   bool
 	barrierFrom sim.Cycle
 
+	// pendAcq lists the SNs of unperformed acquires in the window, in
+	// program order (acquires also perform in program order, so the head
+	// is always the oldest). Empty means no issue is acquire-blocked.
+	pendAcq []SN
+
 	// forwarding: per word address, values of stores still buffered.
-	fwd map[coherence.Addr][]fwdEntry
+	fwd     map[coherence.Addr][]fwdEntry
+	fwdSlab []fwdEntry // backing store per-address forward lists carve from
+
+	// Pre-bound completion callbacks handed to the L1 (one closure each
+	// per core for the whole run, instead of one per memory op).
+	loadDoneFn   func(SN, uint64)
+	storeLocalFn func(SN)
+	storeDoneFn  func(SN)
+	rmwUpdateFn  func(uint64) (uint64, bool)
+	rmwDoneFn    func(SN, uint64, bool)
+
+	retryFree []*rmwRetry
 
 	recs []ExecRecord
 
@@ -94,7 +136,20 @@ func NewCore(pid int, cfg Config, eng *sim.Engine, l1 *coherence.L1,
 	if obs == nil {
 		obs = NopObserver{}
 	}
-	return &Core{
+	if cfg.Window <= 0 {
+		cfg.Window = 1
+	}
+	if cfg.SBSize <= 0 {
+		cfg.SBSize = 1
+	}
+	nops := 0
+	for _, op := range prog {
+		switch op.Kind {
+		case trace.Read, trace.Write, trace.Acquire, trace.Release:
+			nops++
+		}
+	}
+	c := &Core{
 		pid:  pid,
 		cfg:  cfg,
 		eng:  eng,
@@ -103,13 +158,22 @@ func NewCore(pid int, cfg Config, eng *sim.Engine, l1 *coherence.L1,
 		rng:  rng,
 		hub:  hub,
 		prog: prog,
+		win:  make([]inst, cfg.Window),
+		sb:   make([]sbEntry, cfg.SBSize),
 		fwd:  make(map[coherence.Addr][]fwdEntry),
+		recs: make([]ExecRecord, 0, nops),
 	}
+	c.loadDoneFn = c.loadDone
+	c.storeLocalFn = c.storeLocal
+	c.storeDoneFn = c.storeDone
+	c.rmwUpdateFn = func(old uint64) (uint64, bool) { return 1, old == 0 }
+	c.rmwDoneFn = c.rmwDone
+	return c
 }
 
 // Done reports whether the core has fully executed and drained.
 func (c *Core) Done() bool {
-	return c.pc >= len(c.prog) && len(c.window) == 0 && len(c.sb) == 0
+	return c.pc >= len(c.prog) && c.winLen == 0 && c.sbLen == 0
 }
 
 // Records returns the functional outcome of every memory operation, in
@@ -119,10 +183,31 @@ func (c *Core) Records() []ExecRecord { return c.recs }
 // Retired returns the number of retired memory operations.
 func (c *Core) Retired() int64 { return c.retired }
 
+// instAt returns the i-th oldest window entry.
+func (c *Core) instAt(i int) *inst { return &c.win[(c.winHead+i)%len(c.win)] }
+
+// instBySN locates a window entry by SN. The window is SN-contiguous
+// (every window resident got consecutive SNs at dispatch), so this is a
+// single index computation. The entry must still be in the window —
+// true for every completion callback, since loads and acquires cannot
+// retire before they perform.
+func (c *Core) instBySN(sn SN) *inst {
+	i := int(sn - (c.nextSN - SN(c.winLen) + 1))
+	if i < 0 || i >= c.winLen {
+		panic(fmt.Sprintf("cpu: completion for SN %d outside the window", sn))
+	}
+	return &c.win[(c.winHead+i)%len(c.win)]
+}
+
 // Step advances the core one cycle: retire from the window head, drain
 // the store buffer, and dispatch new operations. Work per cycle is
 // O(Width), which keeps 64-core simulations tractable.
 func (c *Core) Step(now sim.Cycle) {
+	// Parked or finished cores have nothing to retire, drain, or
+	// dispatch; skip the calls entirely (most cycles at a barrier).
+	if c.winLen == 0 && c.sbLen == 0 && (c.atBarrier || c.pc >= len(c.prog)) {
+		return
+	}
 	c.retire(now)
 	c.drainSB(now)
 	c.dispatch(now)
@@ -145,7 +230,7 @@ func (c *Core) dispatch(now sim.Cycle) {
 			return
 		case trace.Barrier:
 			// Full fence: wait for the window and SB to drain, then park.
-			if len(c.window) != 0 || len(c.sb) != 0 {
+			if c.winLen != 0 || c.sbLen != 0 {
 				return
 			}
 			c.atBarrier = true
@@ -158,28 +243,41 @@ func (c *Core) dispatch(now sim.Cycle) {
 			})
 			return
 		}
-		if len(c.window) >= c.cfg.Window {
+		if c.winLen >= c.cfg.Window {
 			return
 		}
 		c.pc++
 		c.nextSN++
-		in := &inst{op: op, sn: c.nextSN}
-		c.window = append(c.window, in)
-		c.recs = append(c.recs, ExecRecord{SN: in.sn, Kind: op.Kind, Addr: op.Addr})
-		c.obs.OnDispatch(c.pid, in.sn, op.Kind, op.Addr)
+		sn := c.nextSN
+		i := (c.winHead + c.winLen) % len(c.win)
+		c.win[i] = inst{op: op, sn: sn}
+		c.winLen++
+		c.recs = append(c.recs, ExecRecord{SN: sn, Kind: op.Kind, Addr: op.Addr})
+		c.obs.OnDispatch(c.pid, sn, op.Kind, op.Addr)
 		switch op.Kind {
 		case trace.Read:
-			c.tryIssueLoad(in)
+			c.tryIssueLoad(&c.win[i])
 		case trace.Acquire:
-			c.tryIssueAcquire(in)
+			c.pendAcq = append(c.pendAcq, sn)
+			c.tryIssueAcquire(&c.win[i])
 		case trace.Write:
 			// Stores issue from the SB after retirement; register the
 			// value for store-to-load forwarding now.
-			v := StoreValue(c.pid, in.sn)
-			c.recs[in.sn-1].Value = v
-			c.fwd[op.Addr] = append(c.fwd[op.Addr], fwdEntry{in.sn, v})
+			v := StoreValue(c.pid, sn)
+			c.recs[sn-1].Value = v
+			list := c.fwd[op.Addr]
+			if cap(list) == 0 {
+				// First store to this word: carve a small array from the
+				// slab rather than allocating per address.
+				if len(c.fwdSlab) < 4 {
+					c.fwdSlab = make([]fwdEntry, 1024)
+				}
+				list = c.fwdSlab[:0:4]
+				c.fwdSlab = c.fwdSlab[4:]
+			}
+			c.fwd[op.Addr] = append(list, fwdEntry{sn, v})
 		case trace.Release:
-			c.recs[in.sn-1].Value = 0 // release writes zero (unlock)
+			c.recs[sn-1].Value = 0 // release writes zero (unlock)
 		}
 	}
 }
@@ -187,15 +285,7 @@ func (c *Core) dispatch(now sim.Cycle) {
 // blockedByAcquire reports whether an older unperformed Acquire precedes
 // sn in the window (acquire semantics: younger ops do not issue).
 func (c *Core) blockedByAcquire(sn SN) bool {
-	for _, in := range c.window {
-		if in.sn >= sn {
-			return false
-		}
-		if in.op.Kind == trace.Acquire && !in.performed {
-			return true
-		}
-	}
-	return false
+	return len(c.pendAcq) > 0 && c.pendAcq[0] < sn
 }
 
 func (c *Core) tryIssueLoad(in *inst) {
@@ -217,20 +307,21 @@ func (c *Core) tryIssueLoad(in *inst) {
 		if best != nil {
 			in.issued = true
 			c.obs.OnLoadForwarded(c.pid, in.sn, best.sn, best.val)
-			c.loadPerformed(in, best.val)
+			c.loadDone(in.sn, best.val)
 			return
 		}
 	}
 	in.issued = true
-	c.l1.Load(in.op.Addr, in.sn, func(v uint64) { c.loadPerformed(in, v) })
+	c.l1.Load(in.op.Addr, in.sn, c.loadDoneFn)
 }
 
-func (c *Core) loadPerformed(in *inst, v uint64) {
+func (c *Core) loadDone(sn SN, v uint64) {
+	in := c.instBySN(sn)
 	in.performed = true
 	c.performedLoads++
-	c.recs[in.sn-1].Value = v
-	c.obs.OnLoadValue(c.pid, in.sn, in.op.Addr, v)
-	c.obs.OnPerformed(c.pid, in.sn)
+	c.recs[sn-1].Value = v
+	c.obs.OnLoadValue(c.pid, sn, in.op.Addr, v)
+	c.obs.OnPerformed(c.pid, sn)
 }
 
 func (c *Core) tryIssueAcquire(in *inst) {
@@ -242,39 +333,68 @@ func (c *Core) tryIssueAcquire(in *inst) {
 	}
 	in.issued = true
 	in.issuedAt = c.eng.Now()
-	c.issueRMW(in)
+	c.issueRMW(in.sn)
 }
 
-func (c *Core) issueRMW(in *inst) {
-	c.l1.RMW(in.op.Addr, in.sn,
-		func(old uint64) (uint64, bool) { return 1, old == 0 },
-		func(old uint64, applied bool) {
-			if !applied {
-				// Lock busy: spin with randomized backoff.
-				backoff := sim.Cycle(c.rng.Range(c.cfg.SpinMin, c.cfg.SpinMax))
-				c.eng.After(backoff, func() { c.issueRMW(in) })
-				return
-			}
-			in.performed = true
-			c.recs[in.sn-1].Value = old
-			c.recs[in.sn-1].Applied = true
-			// Report lock-spin time beyond one round trip as idle:
-			// replay re-creates the waiting through chunk order, so
-			// counting it in chunk durations would serialize what the
-			// recording overlapped.
-			if waited := c.eng.Now() - in.issuedAt - 100; waited > 0 {
-				c.obs.OnIdle(c.pid, int64(waited))
-			}
-			c.obs.OnPerformed(c.pid, in.sn)
-			// Acquire performed: unblock younger deferred issue.
-			c.wakeAfterAcquire(in.sn)
-		})
+func (c *Core) issueRMW(sn SN) {
+	in := c.instBySN(sn)
+	c.l1.RMW(in.op.Addr, sn, c.rmwUpdateFn, c.rmwDoneFn)
+}
+
+func (c *Core) rmwDone(sn SN, old uint64, applied bool) {
+	if !applied {
+		// Lock busy: spin with randomized backoff.
+		backoff := sim.Cycle(c.rng.Range(c.cfg.SpinMin, c.cfg.SpinMax))
+		c.eng.After(backoff, c.getRetry(sn))
+		return
+	}
+	in := c.instBySN(sn)
+	in.performed = true
+	c.acquirePerformed(sn)
+	c.recs[sn-1].Value = old
+	c.recs[sn-1].Applied = true
+	// Report lock-spin time beyond one round trip as idle:
+	// replay re-creates the waiting through chunk order, so
+	// counting it in chunk durations would serialize what the
+	// recording overlapped.
+	if waited := c.eng.Now() - in.issuedAt - 100; waited > 0 {
+		c.obs.OnIdle(c.pid, int64(waited))
+	}
+	c.obs.OnPerformed(c.pid, sn)
+	// Acquire performed: unblock younger deferred issue.
+	c.wakeAfterAcquire(sn)
+}
+
+// acquirePerformed drops sn from the pending-acquire list. Acquires
+// perform in program order (a younger one cannot issue while an older
+// one is unperformed), so sn is the head in all but defensive cases.
+func (c *Core) acquirePerformed(sn SN) {
+	for i, p := range c.pendAcq {
+		if p == sn {
+			c.pendAcq = append(c.pendAcq[:i], c.pendAcq[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Core) getRetry(sn SN) func() {
+	var rt *rmwRetry
+	if n := len(c.retryFree); n > 0 {
+		rt = c.retryFree[n-1]
+		c.retryFree = c.retryFree[:n-1]
+	} else {
+		rt = &rmwRetry{c: c}
+		rt.fn = rt.fire
+	}
+	rt.sn = sn
+	return rt.fn
 }
 
 // wakeAfterAcquire re-attempts issue for operations that were deferred
 // behind the acquire.
 func (c *Core) wakeAfterAcquire(sn SN) {
-	for _, in := range c.window {
+	for i := 0; i < c.winLen; i++ {
+		in := c.instAt(i)
 		if in.sn <= sn {
 			continue
 		}
@@ -299,32 +419,36 @@ func (c *Core) wakeAfterAcquire(sn SN) {
 // ---------------------------------------------------------------------
 
 func (c *Core) retire(now sim.Cycle) {
-	for n := 0; n < c.cfg.Width && len(c.window) > 0; n++ {
-		in := c.window[0]
+	for n := 0; n < c.cfg.Width && c.winLen > 0; n++ {
+		in := &c.win[c.winHead]
 		switch in.op.Kind {
 		case trace.Read, trace.Acquire:
 			if !in.performed {
 				return
 			}
 		case trace.Write, trace.Release:
-			if len(c.sb) >= c.cfg.SBSize {
+			if c.sbLen >= c.cfg.SBSize {
 				return // SB full: stall retirement
 			}
 			delay := sim.Cycle(0)
 			if c.cfg.SBDelayMax > 0 {
 				delay = sim.Cycle(c.rng.Intn(c.cfg.SBDelayMax + 1))
 			}
-			c.sb = append(c.sb, &sbEntry{
+			j := (c.sbHead + c.sbLen) % len(c.sb)
+			c.sb[j] = sbEntry{
 				addr:    in.op.Addr,
 				val:     c.recs[in.sn-1].Value,
 				sn:      in.sn,
 				release: in.op.Kind == trace.Release,
 				readyAt: now + delay,
-			})
+			}
+			c.sbLen++
 		}
-		c.window = c.window[1:]
+		sn := in.sn
+		c.winHead = (c.winHead + 1) % len(c.win)
+		c.winLen--
 		c.retired++
-		c.obs.OnRetire(c.pid, in.sn)
+		c.obs.OnRetire(c.pid, sn)
 	}
 }
 
@@ -334,70 +458,77 @@ func (c *Core) retire(now sim.Cycle) {
 
 func (c *Core) drainSB(now sim.Cycle) {
 	// Free completed entries from the head (FIFO deallocation).
-	for len(c.sb) > 0 && c.sb[0].completed {
-		c.sb = c.sb[1:]
+	for c.sbLen > 0 && c.sb[c.sbHead].completed {
+		c.sbHead = (c.sbHead + 1) % len(c.sb)
+		c.sbLen--
+		c.sbIssued--
 	}
 	if c.sbInFlight >= c.cfg.MaxSBIssue {
 		return
 	}
+	if c.sbIssued >= c.sbLen {
+		return // everything in flight already
+	}
 	// Issue the oldest unissued entry (FIFO issue, out-of-order
 	// completion: this is where store-store reordering comes from).
-	for _, e := range c.sb {
-		if e.issued {
-			continue
-		}
-		if now < e.readyAt {
-			return
-		}
-		if e.release && !c.oldersComplete(e) {
-			// Release semantics: wait for all older stores to perform.
-			return
-		}
-		e.issued = true
-		c.sbInFlight++
-		entry := e
-		c.l1.Store(entry.addr, entry.val, entry.sn,
-			func() {},
-			func() {
-				entry.completed = true
-				c.sbInFlight--
-				c.storeGloballyPerformed(entry)
-			})
-		return // one issue per cycle
+	e := &c.sb[(c.sbHead+c.sbIssued)%len(c.sb)]
+	if now < e.readyAt {
+		return
 	}
+	if e.release && !c.oldersComplete() {
+		// Release semantics: wait for all older stores to perform.
+		return
+	}
+	e.issued = true
+	c.sbIssued++
+	c.sbInFlight++
+	c.l1.Store(e.addr, e.val, e.sn, c.storeLocalFn, c.storeDoneFn)
 }
 
-func (c *Core) oldersComplete(e *sbEntry) bool {
-	for _, o := range c.sb {
-		if o == e {
-			return true
-		}
-		if !o.completed {
+// oldersComplete reports whether every SB entry older than the first
+// unissued one has completed (they are exactly the issued prefix).
+func (c *Core) oldersComplete() bool {
+	for i := 0; i < c.sbIssued; i++ {
+		if !c.sb[(c.sbHead+i)%len(c.sb)].completed {
 			return false
 		}
 	}
 	return true
 }
 
-func (c *Core) storeGloballyPerformed(e *sbEntry) {
+func (c *Core) storeLocal(SN) {}
+
+func (c *Core) storeDone(sn SN) {
+	// Only issued entries can complete; they form the ring's prefix.
+	for i := 0; i < c.sbIssued; i++ {
+		e := &c.sb[(c.sbHead+i)%len(c.sb)]
+		if e.sn == sn {
+			e.completed = true
+			c.sbInFlight--
+			c.storeGloballyPerformed(e.addr, sn)
+			return
+		}
+	}
+	panic(fmt.Sprintf("cpu: completion for SN %d not in the store buffer", sn))
+}
+
+func (c *Core) storeGloballyPerformed(addr coherence.Addr, sn SN) {
 	// Remove the forwarding entry: the value is now in the memory system.
-	list := c.fwd[e.addr]
+	list := c.fwd[addr]
 	for i := range list {
-		if list[i].sn == e.sn {
+		if list[i].sn == sn {
 			list = append(list[:i], list[i+1:]...)
 			break
 		}
 	}
-	if len(list) == 0 {
-		delete(c.fwd, e.addr)
-	} else {
-		c.fwd[e.addr] = list
-	}
-	c.obs.OnPerformed(c.pid, e.sn)
+	// Keep the (possibly empty) slice resident: the same addresses recur,
+	// and retaining capacity makes the next append to this word free.
+	c.fwd[addr] = list
+	c.obs.OnPerformed(c.pid, sn)
 }
 
 // String summarizes core state for debugging deadlocks.
 func (c *Core) String() string {
 	return fmt.Sprintf("core%d{pc=%d/%d win=%d sb=%d barrier=%v}",
-		c.pid, c.pc, len(c.prog), len(c.window), len(c.sb), c.atBarrier)
+		c.pid, c.pc, len(c.prog), c.winLen, c.sbLen, c.atBarrier)
 }

@@ -19,6 +19,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -26,6 +27,10 @@ import (
 	"sync"
 	"time"
 )
+
+// ErrInterrupted marks jobs that were never dispatched because the sweep
+// was interrupted (Options.Interrupt). Test with errors.Is.
+var ErrInterrupted = errors.New("harness: sweep interrupted before job ran")
 
 // cacheVersion is folded into every spec hash; bump it whenever the
 // simulator, the recorders or the Result schema change meaning, so stale
@@ -162,6 +167,12 @@ type Options struct {
 	// Progress, if non-nil, receives one line per finished job with a
 	// running count, cache statistics and an ETA (stderr in the CLIs).
 	Progress io.Writer
+	// Interrupt, if non-nil, stops the sweep early when it becomes
+	// readable (closed or sent to): jobs already dispatched finish
+	// normally and keep their results; jobs never dispatched come back
+	// with Err wrapping ErrInterrupted. The CLIs connect it to SIGINT so
+	// a ^C still flushes every completed result.
+	Interrupt <-chan struct{}
 
 	// run overrides job execution (tests only; nil = Execute).
 	run func(JobSpec) (*Result, error)
@@ -200,8 +211,22 @@ func Run(specs []JobSpec, opts Options) []Outcome {
 			}
 		}()
 	}
+dispatch:
 	for i := range specs {
-		idx <- i
+		select {
+		case <-opts.Interrupt:
+			// Stop feeding the pool; everything not yet dispatched is
+			// reported as interrupted so the caller can tell "skipped"
+			// from "failed in simulation".
+			for j := i; j < len(specs); j++ {
+				outcomes[j] = Outcome{
+					Spec: specs[j], Hash: specs[j].Hash(),
+					Err: fmt.Errorf("%w: %s", ErrInterrupted, specs[j].Label()),
+				}
+			}
+			break dispatch
+		case idx <- i:
+		}
 	}
 	close(idx)
 	wg.Wait()

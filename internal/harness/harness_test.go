@@ -3,10 +3,12 @@ package harness
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -408,5 +410,61 @@ func TestProgressReporting(t *testing.T) {
 	last := lines[len(lines)-1]
 	if !strings.Contains(last, fmt.Sprintf("%d/%d", len(specs), len(specs))) {
 		t.Fatalf("final progress line lacks completion count: %q", last)
+	}
+}
+
+// TestInterruptFlushesCompletedJobs checks the SIGINT contract: an
+// interrupted sweep still returns every result that finished, and every
+// job that never ran comes back marked ErrInterrupted — not lost, not
+// reported as a simulation failure.
+func TestInterruptFlushesCompletedJobs(t *testing.T) {
+	specs := testSpecs()
+	interrupt := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		<-started
+		close(interrupt)
+	}()
+	var once sync.Once
+	outcomes := Run(specs, Options{
+		Workers:   1,
+		Interrupt: interrupt,
+		run: func(s JobSpec) (*Result, error) {
+			// Every job blocks until the interrupt fires, so the single
+			// worker is provably busy when it does: the dispatcher's
+			// select sees only the interrupt ready and stops — exactly
+			// one job completes, the rest are marked interrupted.
+			once.Do(func() { started <- struct{}{} })
+			<-interrupt
+			return fakeResult(s), nil
+		},
+	})
+	if len(outcomes) != len(specs) {
+		t.Fatalf("got %d outcomes for %d specs", len(outcomes), len(specs))
+	}
+	var completed, interrupted int
+	for _, o := range outcomes {
+		switch {
+		case o.Result != nil && o.Err == nil:
+			completed++
+		case errors.Is(o.Err, ErrInterrupted):
+			interrupted++
+		default:
+			t.Fatalf("job %s: unexpected outcome (res=%v err=%v)", o.Spec.Label(), o.Result, o.Err)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("interrupt lost all completed results")
+	}
+	if interrupted == 0 {
+		t.Fatal("no job was marked interrupted")
+	}
+	if completed+interrupted != len(specs) {
+		t.Fatalf("accounting: %d completed + %d interrupted != %d specs",
+			completed, interrupted, len(specs))
+	}
+	// The completed results are a usable partial result set.
+	if got := len(Results(outcomes)); got != completed {
+		t.Fatalf("Results() returned %d, want %d", got, completed)
 	}
 }

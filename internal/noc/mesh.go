@@ -53,6 +53,9 @@ type Mesh struct {
 	stats  *sim.Stats
 	// lastArrival[src][dst] enforces FIFO delivery per ordered pair.
 	lastArrival [][]sim.Cycle
+	// Lazily resolved stat counters: Send is the hottest path in the
+	// simulator and must not pay a string-keyed lookup per message.
+	cMessages, cFlits, cHopCycles *sim.Counter
 }
 
 // New builds a mesh over the given engine. It panics if the configuration
@@ -131,9 +134,14 @@ func (m *Mesh) Send(src, dst NodeID, flits int, fn func()) {
 	}
 	m.lastArrival[src][dst] = arrive
 	if m.stats != nil {
-		m.stats.Inc("noc.messages", 1)
-		m.stats.Inc("noc.flits", int64(flits))
-		m.stats.Inc("noc.hop_cycles", int64(m.Hops(src, dst))*int64(m.cfg.HopLatency))
+		if m.cMessages == nil {
+			m.cMessages = m.stats.Counter("noc.messages")
+			m.cFlits = m.stats.Counter("noc.flits")
+			m.cHopCycles = m.stats.Counter("noc.hop_cycles")
+		}
+		m.cMessages.Value++
+		m.cFlits.Value += int64(flits)
+		m.cHopCycles.Value += int64(m.Hops(src, dst)) * int64(m.cfg.HopLatency)
 	}
 	m.eng.After(arrive-m.eng.Now(), fn)
 }

@@ -41,7 +41,11 @@ type PendingWindow struct {
 // NewPendingWindow builds a window with a CBF sized for the given
 // occupancy target (Table 4: PW size 256).
 func NewPendingWindow(cbfSize int) *PendingWindow {
-	return &PendingWindow{tailSN: 1, cbf: NewCBF(cbfSize * 4)}
+	return &PendingWindow{
+		entries: make([]pwEntry, 0, cbfSize),
+		tailSN:  1,
+		cbf:     NewCBF(cbfSize * 4),
+	}
 }
 
 // Dispatch appends the next instruction. SNs must be contiguous.
@@ -91,7 +95,10 @@ func (p *PendingWindow) Drain() SN {
 		i++
 	}
 	if i > 0 {
-		p.entries = append(p.entries[:0:0], p.entries[i:]...)
+		// Compact in place, keeping the backing array: no caller holds a
+		// *pwEntry across a Drain.
+		n := copy(p.entries, p.entries[i:])
+		p.entries = p.entries[:n]
 		p.tailSN += SN(i)
 	}
 	return p.tailSN

@@ -127,9 +127,12 @@ type chunkState struct {
 	endSN   SN // 0 while open
 	ts      int64
 	frozen  bool // became the source of a dependence: TS is promised
-	preds   map[relog.ChunkRef]struct{}
-	dset    []relog.DEntry
-	dindex  map[int32]int // offset -> dset index (merge preds)
+	// preds is a small dedup slice (was a map): chunks typically order
+	// after a handful of predecessors, and repeated adds name a recent
+	// one, so a backwards scan beats hashing.
+	preds  []relog.ChunkRef
+	dset   []relog.DEntry
+	dindex map[int32]int // offset -> dset index (merge preds); lazy
 	pset    []relog.PEntry
 	vlog    []relog.VEntry
 	retired int64
@@ -142,7 +145,14 @@ type chunkState struct {
 	maxSrcSN SN
 }
 
-func (c *chunkState) addPred(r relog.ChunkRef) { c.preds[r] = struct{}{} }
+func (c *chunkState) addPred(r relog.ChunkRef) {
+	for i := len(c.preds) - 1; i >= 0; i-- {
+		if c.preds[i] == r {
+			return
+		}
+	}
+	c.preds = append(c.preds, r)
+}
 
 // fwdPair is one store-to-load forwarding event.
 type fwdPair struct {
@@ -217,6 +227,25 @@ type Recorder struct {
 	// volCycleHint remembers, per destination access, whether Volition
 	// confirmed a cycle for the dependence being processed.
 	finished bool
+
+	chunkFree []*chunkState // emitted chunk states for reuse
+
+	// Lazily resolved stat counters for the per-operation paths (string
+	// keyed lookups are too slow there).
+	cDeps                                  [3]*sim.Counter // indexed by DepKind
+	cCyclic, cDegenerate, cPromised        *sim.Counter
+	cScvLogged, cDsetEntries, cVlogEntries *sim.Counter
+	cPerformedWrt                          *sim.Counter
+}
+
+func (r *Recorder) inc(cp **sim.Counter, name string) {
+	if r.stats == nil {
+		return
+	}
+	if *cp == nil {
+		*cp = r.stats.Counter(name)
+	}
+	(*cp).Value++
 }
 
 // NewRecorder builds a recorder attached to the machine's engine (for
@@ -259,14 +288,18 @@ func (r *Recorder) now() sim.Cycle {
 }
 
 func (r *Recorder) newChunkState(cs *coreState, startSN SN, ts int64) *chunkState {
-	c := &chunkState{
-		cid:     cs.nextCID,
-		startSN: startSN,
-		ts:      ts,
-		preds:   make(map[relog.ChunkRef]struct{}),
-		dindex:  make(map[int32]int),
-		start:   r.now(),
+	var c *chunkState
+	if n := len(r.chunkFree); n > 0 {
+		c = r.chunkFree[n-1]
+		r.chunkFree = r.chunkFree[:n-1]
+		*c = chunkState{preds: c.preds[:0]}
+	} else {
+		c = &chunkState{}
 	}
+	c.cid = cs.nextCID
+	c.startSN = startSN
+	c.ts = ts
+	c.start = r.now()
 	cs.nextCID++
 	return c
 }
@@ -405,8 +438,8 @@ func (r *Recorder) emit(pid int, c *chunkState) {
 		VLog:     c.vlog,
 		Duration: dur,
 	}
-	for p := range c.preds {
-		out.Preds = append(out.Preds, p)
+	if len(c.preds) > 0 {
+		out.Preds = append(make([]relog.ChunkRef, 0, len(c.preds)), c.preds...)
 	}
 	sort.Slice(out.Preds, func(i, j int) bool {
 		if out.Preds[i].PID != out.Preds[j].PID {
@@ -425,6 +458,11 @@ func (r *Recorder) emit(pid int, c *chunkState) {
 	})
 	sort.Slice(out.VLog, func(i, j int) bool { return out.VLog[i].Offset < out.VLog[j].Offset })
 	r.log.Append(out)
+	// The emitted chunk retains dset/pset/vlog; the state struct and its
+	// preds backing array are free for reuse (no live pointer can reach
+	// an emitted chunkState — emission requires all of its instructions,
+	// and those of any staged store pinning it, to have left the PW).
+	r.chunkFree = append(r.chunkFree, c)
 }
 
 // ---------------------------------------------------------------------
@@ -513,7 +551,12 @@ func (r *Recorder) OnDependence(d coherence.Dependence) {
 			scvd.Access{PID: pid, SN: d.Dst.SN})
 	}
 	if r.stats != nil {
-		r.stats.Inc("record.deps."+d.Kind.String(), 1)
+		if k := int(d.Kind); k < len(r.cDeps) {
+			if r.cDeps[k] == nil {
+				r.cDeps[k] = r.stats.Counter("record.deps." + d.Kind.String())
+			}
+			r.cDeps[k].Value++
+		}
 	}
 
 	ch := r.chunkStateOf(cs, d.Dst.SN)
@@ -577,9 +620,7 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 
 	cs := r.cores[pid]
 	dinst := d.Dst.SN
-	if r.stats != nil {
-		r.stats.Inc("record.cyclic_terminations", 1)
-	}
+	r.inc(&r.cCyclic, "record.cyclic_terminations")
 
 	// Boundary selection (Table 2).
 	var b SN
@@ -644,9 +685,7 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 		}
 		cs.cc.ts = maxI64(cs.cc.ts, srcTS+1)
 		cs.cc.addPred(srcRef)
-		if r.stats != nil {
-			r.stats.Inc("record.degenerate_moves", 1)
-		}
+		r.inc(&r.cDegenerate, "record.degenerate_moves")
 	}
 
 	if logIt {
@@ -662,15 +701,11 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 			if ch := r.chunkStateOf(cs, dinst); ch != nil {
 				ch.addPred(srcRef)
 			}
-			if r.stats != nil {
-				r.stats.Inc("record.promised_source_preds", 1)
-			}
+			r.inc(&r.cPromised, "record.promised_source_preds")
 			return
 		}
 		r.stageDelayed(pid, dinst, srcRef)
-		if r.stats != nil {
-			r.stats.Inc("record.scv_logged", 1)
-		}
+		r.inc(&r.cScvLogged, "record.scv_logged")
 	}
 }
 
@@ -834,11 +869,12 @@ func (r *Recorder) finalizeDelayed(pid int, sn SN, e *pwEntry, st *stagedDelayed
 		}
 		delete(cs.fwd, sn)
 	}
+	if ch.dindex == nil {
+		ch.dindex = make(map[int32]int)
+	}
 	ch.dindex[offset] = len(ch.dset)
 	ch.dset = append(ch.dset, entry)
-	if r.stats != nil {
-		r.stats.Inc("record.dset_entries", 1)
-	}
+	r.inc(&r.cDsetEntries, "record.dset_entries")
 }
 
 func mergePreds(a, b []relog.ChunkRef) []relog.ChunkRef {
@@ -892,9 +928,7 @@ func (r *Recorder) addVLog(pid int, sn SN, val uint64) {
 		return
 	}
 	cs.vlogged[sn] = struct{}{}
-	if r.stats != nil {
-		r.stats.Inc("record.vlog_entries", 1)
-	}
+	r.inc(&r.cVlogEntries, "record.vlog_entries")
 	ch := r.chunkStateOf(cs, sn)
 	if ch == nil || ch == cs.cc {
 		cs.pendingVLog = append(cs.pendingVLog, relog.VEntrySN{SN: sn, Value: val})
@@ -914,9 +948,7 @@ func (r *Recorder) OnReleasePWEntry(pid int, sn SN) {
 
 // OnStorePerformedWrt is informational.
 func (r *Recorder) OnStorePerformedWrt(w coherence.AccessRef, pid int, line cache.Line) {
-	if r.stats != nil {
-		r.stats.Inc("record.performed_wrt", 1)
-	}
+	r.inc(&r.cPerformedWrt, "record.performed_wrt")
 }
 
 // ---------------------------------------------------------------------

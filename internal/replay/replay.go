@@ -110,9 +110,9 @@ type replayer struct {
 	mem      map[coherence.Addr]uint64
 	mesh     *noc.Mesh
 
-	cursor    []int // next chunk index per core
+	cursor []int // next chunk index per core
+	// chunkEnd doubles as the done set: a chunk is done iff present.
 	chunkEnd  map[relog.ChunkRef]sim.Cycle
-	done      map[relog.ChunkRef]bool
 	ssb       map[ssbKey]ssbEntry
 	coreClock []sim.Cycle
 	res       *Result
@@ -156,7 +156,11 @@ func (r *replayer) schedule() {
 		// an execution with SCVs). Break the order deterministically at
 		// the smallest-timestamp stalled chunk.
 		if DebugStuck != nil {
-			DebugStuck(r.log, r.cursor, r.done, r.ssbView())
+			done := make(map[relog.ChunkRef]bool, len(r.chunkEnd))
+			for ref := range r.chunkEnd {
+				done[ref] = true
+			}
+			DebugStuck(r.log, r.cursor, done, r.ssbView())
 		}
 		var victim *relog.Chunk
 		for pid := 0; pid < r.log.Cores; pid++ {
@@ -190,7 +194,7 @@ func (r *replayer) ssbView() map[string][]relog.ChunkRef {
 // ready reports whether every order constraint of the chunk is met.
 func (r *replayer) ready(c *relog.Chunk) bool {
 	for _, p := range c.Preds {
-		if !r.done[p] {
+		if _, done := r.chunkEnd[p]; !done {
 			return false
 		}
 	}
@@ -202,7 +206,7 @@ func (r *replayer) ready(c *relog.Chunk) bool {
 			return false
 		}
 		for _, p := range e.preds {
-			if !r.done[p] {
+			if _, done := r.chunkEnd[p]; !done {
 				return false
 			}
 		}
@@ -251,20 +255,20 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 		r.applyStore(c.PID, e.sn, e.op)
 	}
 
-	// Body.
-	dset := map[int32]*relog.DEntry{}
-	for i := range c.DSet {
-		dset[c.DSet[i].Offset] = &c.DSet[i]
-	}
-	vlog := map[int32]uint64{}
-	for _, v := range c.VLog {
-		vlog[v.Offset] = v.Value
-	}
+	// Body. D_set and VLog are tiny per chunk (usually empty), so a
+	// linear scan beats building per-chunk lookup maps.
 	for sn := c.StartSN; sn <= c.EndSN; sn++ {
 		op := r.memOps[c.PID][sn-1]
 		off := int32(sn - c.StartSN)
 		r.res.OpsReplayed++
-		if d, ok := dset[off]; ok {
+		var d *relog.DEntry
+		for i := range c.DSet {
+			if c.DSet[i].Offset == off {
+				d = &c.DSet[i]
+				break
+			}
+		}
+		if d != nil {
 			if d.IsLoad {
 				// The log overrules memory: the load executed "in the
 				// future" during recording.
@@ -275,9 +279,11 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 			}
 			continue
 		}
-		if v, ok := vlog[off]; ok && op.Kind == trace.Read {
-			r.check(c.PID, sn, op, v, true)
-			continue
+		if op.Kind == trace.Read {
+			if v, ok := vlogValue(c.VLog, off); ok {
+				r.check(c.PID, sn, op, v, true)
+				continue
+			}
 		}
 		switch op.Kind {
 		case trace.Read:
@@ -297,8 +303,17 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 	end := startAt + c.Duration
 	r.coreClock[c.PID] = end
 	r.chunkEnd[ref] = end
-	r.done[ref] = true
 	_ = forced
+}
+
+// vlogValue finds the VLog entry at off, if any.
+func vlogValue(vlog []relog.VEntry, off int32) (uint64, bool) {
+	for i := range vlog {
+		if vlog[i].Offset == off {
+			return vlog[i].Value, true
+		}
+	}
+	return 0, false
 }
 
 func (r *replayer) applyStore(pid int, sn SN, op trace.Op) {
@@ -389,7 +404,6 @@ func RunWithMemory(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecor
 		mem:       make(map[coherence.Addr]uint64),
 		cursor:    make([]int, log.Cores),
 		chunkEnd:  make(map[relog.ChunkRef]sim.Cycle),
-		done:      make(map[relog.ChunkRef]bool),
 		ssb:       make(map[ssbKey]ssbEntry),
 		coreClock: make([]sim.Cycle, log.Cores),
 		res:       &Result{},

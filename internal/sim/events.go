@@ -12,9 +12,17 @@ type Event struct {
 	seq uint64 // insertion order, breaks ties deterministically
 }
 
-// eventHeap orders events by (At, seq) so that simultaneous events run in
-// insertion order — a requirement for deterministic simulation.
-type eventHeap []*Event
+// ringSize is the calendar-queue horizon in cycles. Nearly every delay in
+// the simulated machine (cache hits, mesh hops, the 200-cycle memory
+// round trip, spin backoffs) is far below it, so the heap spill path is
+// cold. Must be a power of two.
+const ringSize = 512
+
+// eventHeap orders far-future events by (At, seq) so that simultaneous
+// events run in insertion order — a requirement for deterministic
+// simulation. It holds events by value: the common case never touches it,
+// and the spill path avoids a per-event heap allocation.
+type eventHeap []Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
@@ -24,12 +32,12 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*Event)) }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)
 	e := old[n-1]
-	old[n-1] = nil
+	old[n-1].Fn = nil
 	*h = old[:n-1]
 	return e
 }
@@ -37,11 +45,26 @@ func (h *eventHeap) Pop() any {
 // Engine is a discrete-event scheduler with a monotone clock. Components
 // that step every cycle (the cores) register as Steppers; sporadic work
 // (message deliveries, timer expirations) is posted as events.
+//
+// Events within the scheduling horizon live in a calendar queue: a ring
+// of per-cycle buckets whose backing arrays are reused cycle after cycle,
+// so steady-state scheduling allocates nothing. Events beyond the horizon
+// spill to a heap and migrate into their bucket as the clock approaches.
+// The execution order contract is unchanged from the heap-only engine:
+// events run in (At, seq) order, i.e. same-cycle events in insertion
+// order.
 type Engine struct {
 	now     Cycle
-	events  eventHeap
 	nextSeq uint64
 	stepper []Stepper
+
+	// buckets[c & (ringSize-1)] holds the events for cycle c, for every c
+	// in [now, now+ringSize). Bucket order is insertion order: far events
+	// migrate in (in seq order) before any near event for the same cycle
+	// can be appended, so append order equals seq order.
+	buckets [ringSize][]Event
+	far     eventHeap // events at/beyond now+ringSize
+	pending int
 }
 
 // Stepper is a component clocked every cycle, in registration order.
@@ -49,9 +72,18 @@ type Stepper interface {
 	Step(now Cycle)
 }
 
-// NewEngine returns an engine at cycle 0 with no pending events.
+// NewEngine returns an engine at cycle 0 with no pending events. Every
+// calendar bucket starts with a small capacity carved from one shared
+// slab, so warming up the ring does not cost a growth allocation per
+// bucket.
 func NewEngine() *Engine {
-	return &Engine{}
+	e := &Engine{}
+	const per = 8
+	backing := make([]Event, ringSize*per)
+	for i := range e.buckets {
+		e.buckets[i] = backing[i*per : i*per : (i+1)*per]
+	}
+	return e
 }
 
 // Now returns the current cycle.
@@ -70,22 +102,58 @@ func (e *Engine) After(delay Cycle, fn func()) {
 		panic("sim: negative event delay")
 	}
 	e.nextSeq++
-	heap.Push(&e.events, &Event{At: e.now + delay, Fn: fn, seq: e.nextSeq})
+	e.pending++
+	at := e.now + delay
+	if delay < ringSize {
+		// Any spilled event for a cycle within the horizon must land in
+		// its bucket before this near append, or bucket order would stop
+		// matching seq order. Tick migrates eagerly, so this loop only
+		// runs when After is called outside a Tick (e.g. test setup).
+		e.migrate()
+		b := &e.buckets[at&(ringSize-1)]
+		*b = append(*b, Event{At: at, Fn: fn, seq: e.nextSeq})
+		return
+	}
+	heap.Push(&e.far, Event{At: at, Fn: fn, seq: e.nextSeq})
+}
+
+// migrate moves every spilled event whose cycle is within the horizon
+// into its calendar bucket. The heap pops in (At, seq) order and no near
+// event for a newly-reachable cycle can precede its migrated events, so
+// bucket append order stays seq order.
+func (e *Engine) migrate() {
+	horizon := e.now + ringSize - 1
+	for len(e.far) > 0 && e.far[0].At <= horizon {
+		ev := heap.Pop(&e.far).(Event)
+		b := &e.buckets[ev.At&(ringSize-1)]
+		*b = append(*b, ev)
+	}
 }
 
 // Pending reports the number of queued events.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine) Pending() int { return e.pending }
 
 // Tick advances the clock one cycle: all steppers step, then every event
 // scheduled at (or before) the new current cycle runs in order.
 func (e *Engine) Tick() {
+	// The cycle now+ringSize-1 enters the horizon this tick: migrate any
+	// spilled events for it before steppers can post near events.
+	e.migrate()
+
 	for _, s := range e.stepper {
 		s.Step(e.now)
 	}
-	for len(e.events) > 0 && e.events[0].At <= e.now {
-		ev := heap.Pop(&e.events).(*Event)
-		ev.Fn()
+
+	// Run this cycle's bucket. Events may append to it while it runs
+	// (zero-delay scheduling), so re-check the length each iteration.
+	b := &e.buckets[e.now&(ringSize-1)]
+	for i := 0; i < len(*b); i++ {
+		fn := (*b)[i].Fn
+		(*b)[i].Fn = nil // release the closure; the slot is reused
+		e.pending--
+		fn()
 	}
+	*b = (*b)[:0]
 	e.now++
 }
 

@@ -118,6 +118,120 @@ type stepFunc func(Cycle)
 
 func (f stepFunc) Step(now Cycle) { f(now) }
 
+func TestEngineStepperSchedulesCurrentCycle(t *testing.T) {
+	// An event posted with zero delay from inside a Step must run at the
+	// end of that same cycle, after all steppers.
+	e := NewEngine()
+	var order []string
+	e.Register(stepFunc(func(Cycle) {
+		order = append(order, "step0")
+		e.After(0, func() { order = append(order, "event") })
+	}))
+	e.Register(stepFunc(func(Cycle) { order = append(order, "step1") }))
+	e.Tick()
+	want := []string{"step0", "step1", "event"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestEngineZeroDelaySelfReschedule(t *testing.T) {
+	// A handler that re-posts itself with zero delay keeps running within
+	// the same cycle until it stops; the clock must not advance meanwhile.
+	e := NewEngine()
+	runs := 0
+	var at []Cycle
+	var self func()
+	self = func() {
+		runs++
+		at = append(at, e.Now())
+		if runs < 5 {
+			e.After(0, self)
+		}
+	}
+	e.After(3, self)
+	for i := 0; i < 4; i++ {
+		e.Tick()
+	}
+	if runs != 5 {
+		t.Fatalf("self-rescheduling handler ran %d times, want 5", runs)
+	}
+	for _, c := range at {
+		if c != 3 {
+			t.Fatalf("handler ran at cycles %v, want all at 3", at)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e.Pending())
+	}
+}
+
+func TestEngineSpillBoundaryOrdering(t *testing.T) {
+	// Events at delays straddling the calendar-queue horizon (ringSize)
+	// must still run in (At, seq) order. Interleave near and far inserts
+	// that all land on the same pair of target cycles.
+	e := NewEngine()
+	var order []int
+	add := func(id int, delay Cycle) {
+		e.After(delay, func() { order = append(order, id) })
+	}
+	// Target cycle ringSize+5: first two go via the heap (delay >= ringSize),
+	// the rest are appended near after the clock has advanced.
+	add(0, ringSize+5) // far
+	add(1, ringSize+5) // far, same cycle: heap must preserve insertion order
+	add(2, ringSize-1) // near, earlier cycle
+	add(3, ringSize+6) // far, later cycle
+	for e.Now() < 6 {
+		e.Tick()
+	}
+	// Now ringSize+5 = now+ringSize-1 is exactly at the horizon edge.
+	add(4, ringSize-1) // near append for cycle ringSize+5, after the far ones
+	add(5, ringSize-2) // near append for cycle ringSize+4
+	for e.Now() < ringSize+10 {
+		e.Tick()
+	}
+	want := []int{2, 5, 0, 1, 4, 3}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v (At,seq contract across spill boundary)", order, want)
+		}
+	}
+}
+
+func TestEngineFarEventsDeepBeyondHorizon(t *testing.T) {
+	// Events several horizons out must survive bucket reuse and fire at
+	// exactly their scheduled cycle.
+	e := NewEngine()
+	var fired []Cycle
+	for _, d := range []Cycle{3 * ringSize, ringSize, 2*ringSize + 7} {
+		d := d
+		e.After(d, func() { fired = append(fired, e.Now()) })
+	}
+	for e.Now() < 4*ringSize {
+		e.Tick()
+	}
+	want := []Cycle{ringSize, 2*ringSize + 7, 3 * ringSize}
+	if len(fired) != len(want) {
+		t.Fatalf("fired at %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired at %v, want %v", fired, want)
+		}
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain", e.Pending())
+	}
+}
+
 func TestEngineNegativeDelayPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
@@ -161,6 +275,33 @@ func TestPending(t *testing.T) {
 	e.Tick()
 	if e.Pending() != 0 {
 		t.Fatalf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// BenchmarkEventEngine measures the steady-state cost of the scheduler
+// under a mesh-like load: 64 concurrent event chains rescheduling
+// themselves at short delays, with one long delay in the mix to keep the
+// heap spill path honest. Run with -benchmem: the calendar queue should
+// report zero allocs/op once the bucket arrays are warm.
+func BenchmarkEventEngine(b *testing.B) {
+	e := NewEngine()
+	delays := []Cycle{1, 2, 3, 5, 8, 13, 21, ringSize + 88}
+	fired := 0
+	for i := 0; i < 64; i++ {
+		i := i
+		step := i
+		var chain func()
+		chain = func() {
+			fired++
+			step++
+			e.After(delays[step&7], chain)
+		}
+		e.After(delays[i&7], chain)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for fired < b.N {
+		e.Tick()
 	}
 }
 
