@@ -9,6 +9,7 @@
 //	pacifier -litmus sb -seed 3 -nonatomic
 //	pacifier -app fft -cores 16 -save fft.rrlog
 //	pacifier -load fft.rrlog
+//	pacifier verify fft.rrlog
 //	pacifier sweep -apps fft,lu -cores 16,32 -format csv
 //	pacifier bench -o BENCH.json
 package main
@@ -39,6 +40,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
 		bench(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "verify" {
+		verify(os.Args[2:])
 		return
 	}
 
@@ -76,11 +81,13 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
-		st, err := pacifier.DecodeLogStats(blob)
+		a, err := pacifier.AuditLog(blob)
 		if err != nil {
-			fail("decode %s: %v", *load, err)
+			fail("%s: %v", *load, err)
 		}
-		fmt.Printf("log file        %s (%d bytes)\n", *load, len(blob))
+		st := a.Stats
+		fmt.Printf("log file        %s (%d bytes, audited)\n", *load, len(blob))
+		fmt.Printf("cores           %d\n", a.Cores)
 		fmt.Printf("chunks          %d\n", st.Chunks)
 		fmt.Printf("D_set entries   %d   P_set %d   value logs %d   pred edges %d\n",
 			st.DEntries, st.PEntries, st.VEntries, st.PredEdges)
@@ -307,6 +314,106 @@ func sweep(args []string) {
 	if len(harness.Errs(outcomes)) > 0 {
 		os.Exit(1)
 	}
+}
+
+// verifyReport is `pacifier verify -json`'s output schema.
+type verifyReport struct {
+	File          string `json:"file"`
+	Bytes         int    `json:"bytes"`
+	Valid         bool   `json:"valid"`
+	Failure       string `json:"failure,omitempty"` // "corrupt-encoding" | "invalid-semantics"
+	Error         string `json:"error,omitempty"`
+	Cores         int    `json:"cores,omitempty"`
+	Chunks        int    `json:"chunks,omitempty"`
+	PerCoreChunks []int  `json:"per_core_chunks,omitempty"`
+	DEntries      int    `json:"dset_entries,omitempty"`
+	PEntries      int    `json:"pset_entries,omitempty"`
+	VEntries      int    `json:"vlog_entries,omitempty"`
+	PredEdges     int    `json:"pred_edges,omitempty"`
+}
+
+// verify audits a saved log file against the full pipeline — wire-level
+// decode plus the recorder's semantic invariants — and prints a
+// structured report. Exit status 0 means the log is safe to replay;
+// 1 means it was rejected (with the failure layer identified).
+func verify(args []string) {
+	fs := flag.NewFlagSet("pacifier verify", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail("usage: pacifier verify [-json] <logfile>")
+	}
+	file := fs.Arg(0)
+
+	blob, err := os.ReadFile(file)
+	if err != nil {
+		fail("%v", err)
+	}
+	rep := verifyReport{File: file, Bytes: len(blob)}
+	audit, err := pacifier.AuditLog(blob)
+	switch {
+	case err == nil:
+		rep.Valid = true
+		rep.Cores = audit.Cores
+		rep.PerCoreChunks = audit.PerCoreChunks
+		rep.Chunks = audit.Stats.Chunks
+		rep.DEntries = audit.Stats.DEntries
+		rep.PEntries = audit.Stats.PEntries
+		rep.VEntries = audit.Stats.VEntries
+		rep.PredEdges = audit.Stats.PredEdges
+	case errors.Is(err, pacifier.ErrCorruptLog):
+		rep.Failure = "corrupt-encoding"
+		rep.Error = err.Error()
+	case errors.Is(err, pacifier.ErrInvalidLog):
+		rep.Failure = "invalid-semantics"
+		rep.Error = err.Error()
+	default:
+		rep.Failure = "error"
+		rep.Error = err.Error()
+	}
+
+	if *jsonOut {
+		out, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr != nil {
+			fail("%v", jerr)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Printf("log file        %s (%d bytes)\n", rep.File, rep.Bytes)
+		if rep.Valid {
+			fmt.Println("wire decode     ok")
+			fmt.Println("invariants      ok")
+			fmt.Printf("cores           %d\n", rep.Cores)
+			fmt.Printf("chunks          %d  (per core: %s)\n", rep.Chunks, joinInts(rep.PerCoreChunks))
+			fmt.Printf("D_set entries   %d   P_set %d   value logs %d   pred edges %d\n",
+				rep.DEntries, rep.PEntries, rep.VEntries, rep.PredEdges)
+			fmt.Println("verdict         VALID (safe to replay)")
+		} else {
+			switch rep.Failure {
+			case "corrupt-encoding":
+				fmt.Println("wire decode     FAILED (corrupt encoding)")
+			case "invalid-semantics":
+				fmt.Println("wire decode     ok")
+				fmt.Println("invariants      VIOLATED (semantic check failed)")
+			default:
+				fmt.Println("audit           FAILED")
+			}
+			fmt.Printf("error           %s\n", rep.Error)
+			fmt.Println("verdict         REJECTED")
+		}
+	}
+	if !rep.Valid {
+		os.Exit(1)
+	}
+}
+
+// joinInts formats a small int slice as "a b c" for the report.
+func joinInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, " ")
 }
 
 func fail(format string, args ...any) {

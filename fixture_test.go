@@ -1,0 +1,154 @@
+package pacifier_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"pacifier"
+	"pacifier/internal/relog"
+)
+
+// The 20-config determinism fixture: every app recorded at two seeds,
+// with the encoded Granule and Karma logs hashed against golden values
+// in testdata/fixture_hashes.json. Any change to recorder semantics or
+// the wire encoding shows up as a hash diff; hardening-only changes
+// must keep every hash byte-identical.
+//
+// The same 20 recordings generate the fuzz seed corpus under
+// internal/relog/testdata/fuzz/, so the fuzzer starts from real
+// recorder output. Regenerate both with:
+//
+//	PACIFIER_UPDATE_FIXTURE=1 go test -run TestDeterminismFixture .
+
+const (
+	fixtureSeeds  = 2
+	fixtureCores  = 4
+	fixtureOps    = 300
+	fixtureHashes = "testdata/fixture_hashes.json"
+	fuzzDir       = "internal/relog/testdata/fuzz"
+)
+
+func TestDeterminismFixture(t *testing.T) {
+	update := os.Getenv("PACIFIER_UPDATE_FIXTURE") != ""
+
+	var golden map[string]string
+	if !update {
+		blob, err := os.ReadFile(fixtureHashes)
+		if err != nil {
+			t.Fatalf("missing golden hashes (run with PACIFIER_UPDATE_FIXTURE=1 to generate): %v", err)
+		}
+		if err := json.Unmarshal(blob, &golden); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got := map[string]string{}
+	configs := 0
+	for _, app := range pacifier.Apps() {
+		for seed := uint64(1); seed <= fixtureSeeds; seed++ {
+			configs++
+			w, err := pacifier.App(app, fixtureCores, fixtureOps, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			run, err := pacifier.Record(w, pacifier.Options{Seed: seed, Atomic: true},
+				pacifier.Granule, pacifier.Karma)
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", app, seed, err)
+			}
+			for _, mode := range []pacifier.Mode{pacifier.Granule, pacifier.Karma} {
+				blob, err := run.EncodedLog(mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				// The hardened pipeline must accept its own output.
+				if _, err := pacifier.AuditLog(blob); err != nil {
+					t.Fatalf("%s seed %d %v: recorder output fails audit: %v", app, seed, mode, err)
+				}
+				sum := sha256.Sum256(blob)
+				key := fmt.Sprintf("%s/s%d/%v", app, seed, mode)
+				got[key] = hex.EncodeToString(sum[:])
+				if mode == pacifier.Granule && update {
+					writeFuzzSeeds(t, fmt.Sprintf("seed-%s-s%d", app, seed), blob)
+				}
+			}
+			if err := run.VerifyRoundTrip(pacifier.Granule); err != nil {
+				t.Fatalf("%s seed %d: %v", app, seed, err)
+			}
+		}
+	}
+	if configs != 20 {
+		t.Fatalf("fixture covers %d configs, want 20", configs)
+	}
+
+	if update {
+		// json.MarshalIndent sorts map keys, so the file is stable.
+		blob, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(fixtureHashes), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(fixtureHashes, append(blob, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d hashes) and fuzz corpus under %s", fixtureHashes, len(got), fuzzDir)
+		return
+	}
+
+	for key, h := range got {
+		if golden[key] == "" {
+			t.Errorf("%s: no golden hash (regenerate the fixture)", key)
+		} else if golden[key] != h {
+			t.Errorf("%s: log hash changed: %s -> %s", key, golden[key], h)
+		}
+	}
+	if len(golden) != len(got) {
+		t.Errorf("golden file has %d hashes, fixture produced %d", len(golden), len(got))
+	}
+}
+
+// writeFuzzSeeds emits one encoded log as a native Go fuzz corpus entry
+// for each log-level target, plus per-core first chunks for the chunk
+// target.
+func writeFuzzSeeds(t *testing.T, name string, blob []byte) {
+	t.Helper()
+	entry := "go test fuzz v1\n[]byte(" + strconv.Quote(string(blob)) + ")\n"
+	for _, target := range []string{"FuzzDecodeLog", "FuzzRoundTrip"} {
+		dir := filepath.Join(fuzzDir, target)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	log, err := relog.DecodeLog(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(fuzzDir, "FuzzDecodeChunk")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for pid := 0; pid < log.Cores; pid++ {
+		chunks := log.Chunks(pid)
+		if len(chunks) == 0 {
+			continue
+		}
+		cb := relog.EncodeChunk(chunks[0], 0, 0)
+		entry := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\nint64(0)\nint64(0)\nint64(1)\n",
+			strconv.Quote(string(cb)))
+		file := fmt.Sprintf("%s-p%d", name, pid)
+		if err := os.WriteFile(filepath.Join(dir, file), []byte(entry), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

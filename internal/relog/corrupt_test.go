@@ -1,0 +1,285 @@
+package relog
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// wellFormed builds a small multi-core log that exercises every wire
+// section, encodes it, and returns both.
+func wellFormed(t *testing.T) (*Log, []byte) {
+	t.Helper()
+	l := NewLog(2)
+	l.Append(&Chunk{PID: 0, CID: 0, StartSN: 1, EndSN: 100, TS: 0,
+		DSet: []DEntry{
+			{Offset: 5, IsLoad: true, Value: 0xdeadbeef, Pred: []ChunkRef{{PID: 1, CID: 0}}},
+			{Offset: 17, IsLoad: false},
+		},
+		VLog: []VEntry{{Offset: 30, Value: 42}}})
+	l.Append(&Chunk{PID: 0, CID: 1, StartSN: 101, EndSN: 150, TS: 5,
+		Preds: []ChunkRef{{PID: 1, CID: 0}},
+		PSet:  []PEntry{{SrcCID: 0, Offset: 17}}})
+	l.Append(&Chunk{PID: 1, CID: 0, StartSN: 1, EndSN: 120, TS: 2})
+	if err := Validate(l); err != nil {
+		t.Fatalf("fixture log invalid: %v", err)
+	}
+	b := EncodeLog(l)
+	if _, err := DecodeLog(b); err != nil {
+		t.Fatalf("fixture log does not decode: %v", err)
+	}
+	return l, b
+}
+
+// TestDecodeLogMalformedInputs is the table-driven rejection test:
+// truncated, count-inflated, length-corrupted and overflowing inputs
+// must all yield a typed ErrCorrupt — never a panic and never an
+// allocation storm.
+func TestDecodeLogMalformedInputs(t *testing.T) {
+	uv := func(vals ...uint64) []byte {
+		var b []byte
+		for _, v := range vals {
+			b = putUvarint(b, v)
+		}
+		return b
+	}
+	// oneChunkLog wraps one chunk body as a 1-core, 1-chunk log with a
+	// correct length prefix, so the failure is the body's, not the
+	// framing's.
+	oneChunkLog := func(body []byte) []byte {
+		in := uv(1, 1, uint64(len(body)))
+		return append(in, body...)
+	}
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"empty", nil},
+		{"zero cores", uv(0)},
+		{"huge core count", uv(1 << 20)},
+		{"core count uvarint overflow", []byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f}},
+		{"chunk count beyond input", uv(1, 1<<40)},
+		{"chunk count 2^60", uv(1, 1<<60)},
+		{"chunk length beyond input", uv(1, 1, 200, 0)},
+		// ln := int(uvarint) used to go negative on 64-bit overflow and
+		// panic slicing d.b[d.pos:d.pos+ln].
+		{"chunk length int64 overflow", append(uv(1, 1), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01)},
+		// A chunk claiming 2^60 entries used to append 2^60 zero
+		// entries before the truncation error surfaced.
+		{"pred count inflated", oneChunkLog(uv(1, 0, 1<<60, 0, 0, 0))},
+		{"dset count inflated", oneChunkLog(uv(1, 0, 0, 1<<60, 0, 0))},
+		{"pset count inflated", oneChunkLog(uv(1, 0, 0, 0, 1<<60, 0))},
+		{"vlog count inflated", oneChunkLog(uv(1, 0, 0, 0, 0, 1<<60))},
+		{"dset pred count inflated", oneChunkLog(uv(1, 0, 0, 1, 3, 0, 1<<60, 0, 0))},
+		{"chunk size 2^62", oneChunkLog(uv(1<<62, 0, 0, 0, 0, 0))},
+		// Offsets beyond int32 used to wrap silently into bogus chunk
+		// positions.
+		{"dset offset overflows int32", oneChunkLog(uv(1, 0, 0, 1, 1<<33, 0, 0, 0, 0))},
+		{"pset offset overflows int32", oneChunkLog(uv(1, 0, 0, 0, 1, 0, 1<<33, 0))},
+		{"vlog offset overflows int32", oneChunkLog(append(uv(1, 0, 0, 0, 0, 1, 1<<33), make([]byte, 8)...))},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l, err := DecodeLog(tc.in)
+			if err == nil {
+				t.Fatalf("malformed input accepted: %+v", l)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("error %v does not wrap ErrCorrupt", err)
+			}
+		})
+	}
+}
+
+// TestDecodeLogEveryTruncation cuts a well-formed encoding at every
+// byte boundary; each prefix must fail with ErrCorrupt, not panic.
+func TestDecodeLogEveryTruncation(t *testing.T) {
+	_, b := wellFormed(t)
+	for cut := 0; cut < len(b); cut++ {
+		if _, err := DecodeLog(b[:cut]); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation at %d: got %v, want ErrCorrupt", cut, err)
+		}
+	}
+}
+
+// TestDecodeLogEveryBitFlip flips every bit of a well-formed encoding.
+// Each result must either decode cleanly (some flips land in value
+// payloads) or fail typed — and must never panic. Decoded results are
+// additionally pushed through Validate and ComputeStats, which must
+// also be total.
+func TestDecodeLogEveryBitFlip(t *testing.T) {
+	_, b := wellFormed(t)
+	for i := 0; i < len(b); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), b...)
+			mut[i] ^= 1 << bit
+			l, err := DecodeLog(mut)
+			if err != nil {
+				if !errors.Is(err, ErrCorrupt) {
+					t.Fatalf("flip %d.%d: error %v does not wrap ErrCorrupt", i, bit, err)
+				}
+				continue
+			}
+			_ = Validate(l) // must not panic; invalid is fine
+			_ = l.ComputeStats()
+		}
+	}
+}
+
+// TestDecodeLogRejectsTrailingGarbage: EncodeLog output is exact, so
+// surplus bytes mean corruption.
+func TestDecodeLogRejectsTrailingGarbage(t *testing.T) {
+	_, b := wellFormed(t)
+	if _, err := DecodeLog(append(b, 0x00)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailing byte accepted: %v", err)
+	}
+}
+
+// TestDecodeBoundedAllocation pins the count-inflation fix: a tiny
+// input claiming 2^60 entries must fail after a bounded number of
+// allocations instead of appending entries until OOM.
+func TestDecodeBoundedAllocation(t *testing.T) {
+	in := append(putUvarint(nil, 1), putUvarint(nil, 1)...) // 1 core, 1 chunk
+	body := putUvarint(nil, 1)                              // size
+	body = putVarint(body, 0)                               // ts delta
+	body = putUvarint(body, 1<<60)                          // pred count bomb
+	in = append(in, putUvarint(nil, uint64(len(body)))...)
+	in = append(in, body...)
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := DecodeLog(in); err == nil {
+			t.Fatal("count bomb accepted")
+		}
+	})
+	if allocs > 64 {
+		t.Fatalf("count bomb cost %v allocations; decoding must stay bounded", allocs)
+	}
+}
+
+// TestDecodeChunkStartSNContract: DecodeChunk rejects out-of-contract
+// start SNs instead of producing chunks with overflowed spans.
+func TestDecodeChunkStartSNContract(t *testing.T) {
+	c := &Chunk{PID: 0, CID: 0, StartSN: 1, EndSN: 4, TS: 1}
+	b := EncodeChunk(c, 0, 0)
+	if _, _, err := DecodeChunk(b, 0, 0, 0, 0, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("startSN 0 accepted: %v", err)
+	}
+	if _, _, err := DecodeChunk(b, 0, 0, 0, 0, SN(int64(1)<<62)); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("startSN at maxSN with nonzero size accepted: %v", err)
+	}
+}
+
+// TestValidateCatchesSemanticViolations: wire-clean logs with broken
+// invariants are rejected with typed ErrInvalid errors naming the
+// offending chunk.
+func TestValidateCatchesSemanticViolations(t *testing.T) {
+	base := func() *Log {
+		l := NewLog(2)
+		l.Append(&Chunk{PID: 0, CID: 0, StartSN: 1, EndSN: 10, TS: 0,
+			DSet: []DEntry{{Offset: 3, IsLoad: false}}})
+		l.Append(&Chunk{PID: 0, CID: 1, StartSN: 11, EndSN: 20, TS: 4,
+			PSet: []PEntry{{SrcCID: 0, Offset: 3}}})
+		l.Append(&Chunk{PID: 1, CID: 0, StartSN: 1, EndSN: 20, TS: 1})
+		return l
+	}
+	if err := Validate(base()); err != nil {
+		t.Fatalf("base log invalid: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(l *Log)
+		want string
+	}{
+		{"nil log", nil, "nil log"},
+		{"core table mismatch", func(l *Log) { l.Cores = 3 }, "core table"},
+		{"nil chunk", func(l *Log) { l.PerCore[1][0] = nil }, "nil chunk"},
+		{"PID mismatch", func(l *Log) { l.PerCore[1][0].PID = 0 }, "chunk PID"},
+		{"sparse CIDs", func(l *Log) { l.PerCore[0][1].CID = 5 }, "dense"},
+		{"SN gap", func(l *Log) { l.PerCore[0][1].StartSN = 12 }, "predecessor ended"},
+		{"first chunk not at 1", func(l *Log) { l.PerCore[1][0].StartSN = 2 }, "predecessor ended"},
+		{"negative span", func(l *Log) { l.PerCore[1][0].EndSN = -1 }, "negative span"},
+		{"negative TS", func(l *Log) { l.PerCore[1][0].TS = -3 }, "strictly increase"},
+		{"TS not increasing", func(l *Log) { l.PerCore[0][1].TS = 0 }, "strictly increase"},
+		{"pred core out of range", func(l *Log) {
+			l.PerCore[0][0].Preds = []ChunkRef{{PID: 7, CID: 0}}
+		}, "names core"},
+		{"pred chunk missing", func(l *Log) {
+			l.PerCore[0][0].Preds = []ChunkRef{{PID: 1, CID: 9}}
+		}, "does not exist"},
+		{"pred self reference", func(l *Log) {
+			l.PerCore[0][1].Preds = []ChunkRef{{PID: 0, CID: 1}}
+		}, "strictly earlier"},
+		{"dset pred unresolvable", func(l *Log) {
+			l.PerCore[0][0].DSet[0].Pred = []ChunkRef{{PID: 1, CID: 2}}
+		}, "does not exist"},
+		{"dset offset out of range", func(l *Log) { l.PerCore[0][0].DSet[0].Offset = 10 }, "outside"},
+		{"dset offset duplicated", func(l *Log) {
+			l.PerCore[0][0].DSet = append(l.PerCore[0][0].DSet, DEntry{Offset: 3, IsLoad: true})
+		}, "duplicate"},
+		{"pset forward reference", func(l *Log) { l.PerCore[0][1].PSet[0].SrcCID = 1 }, "earlier chunk"},
+		{"pset unresolvable", func(l *Log) { l.PerCore[0][1].PSet[0].Offset = 9 }, "no delayed store"},
+		{"pset claims a load", func(l *Log) { l.PerCore[0][0].DSet[0].IsLoad = true }, "no delayed store"},
+		{"pset double claim", func(l *Log) {
+			l.PerCore[0][1].PSet = append(l.PerCore[0][1].PSet, PEntry{SrcCID: 0, Offset: 3})
+		}, "claimed twice"},
+		{"vlog offset out of range", func(l *Log) {
+			l.PerCore[1][0].VLog = []VEntry{{Offset: 20, Value: 1}}
+		}, "outside"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var l *Log
+			if tc.mut != nil {
+				l = base()
+				tc.mut(l)
+			}
+			err := Validate(l)
+			if err == nil {
+				t.Fatal("violation accepted")
+			}
+			if !errors.Is(err, ErrInvalid) {
+				t.Fatalf("error %v does not wrap ErrInvalid", err)
+			}
+			var ve *ValidationError
+			if !errors.As(err, &ve) {
+				t.Fatalf("error %v is not a *ValidationError", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestValidateAllowsReplayerReportedDefects: the two defect classes the
+// replayer reports (cross-core pred cycles → OrderBreaks, unclaimed
+// delayed stores → LeftoverSSB) must pass Validate, or Karma logs of
+// executions with SCVs would become unreplayable.
+func TestValidateAllowsReplayerReportedDefects(t *testing.T) {
+	l := NewLog(2)
+	l.Append(&Chunk{PID: 0, CID: 0, StartSN: 1, EndSN: 2, TS: 0,
+		Preds: []ChunkRef{{PID: 1, CID: 0}},
+		DSet:  []DEntry{{Offset: 0, IsLoad: false}}}) // never claimed
+	l.Append(&Chunk{PID: 1, CID: 0, StartSN: 1, EndSN: 2, TS: 1,
+		Preds: []ChunkRef{{PID: 0, CID: 0}}}) // cross-core cycle
+	if err := Validate(l); err != nil {
+		t.Fatalf("replayer-reportable defects must validate: %v", err)
+	}
+}
+
+// TestValidateZeroSizeCarrier: Finish emits zero-size chunks carrying
+// trailing P_set/V_log entries; they are legal.
+func TestValidateZeroSizeCarrier(t *testing.T) {
+	l := NewLog(1)
+	l.Append(&Chunk{PID: 0, CID: 0, StartSN: 1, EndSN: 4, TS: 0,
+		DSet: []DEntry{{Offset: 2, IsLoad: false}}})
+	l.Append(&Chunk{PID: 0, CID: 1, StartSN: 5, EndSN: 4, TS: 1,
+		PSet: []PEntry{{SrcCID: 0, Offset: 2}}})
+	if err := Validate(l); err != nil {
+		t.Fatalf("zero-size carrier rejected: %v", err)
+	}
+	// But a zero-size chunk cannot hold D_set or V_log entries.
+	l.PerCore[0][1].VLog = []VEntry{{Offset: 0, Value: 9}}
+	if err := Validate(l); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("V_log entry in zero-size chunk accepted: %v", err)
+	}
+}

@@ -3,22 +3,33 @@ package relog
 import (
 	"encoding/binary"
 	"fmt"
+	"math"
 )
 
-// Wire format (per chunk):
-//
-//	uvarint  size            (EndSN - StartSN + 1)
-//	varint   ts delta        (TS - previous chunk's TS)
-//	uvarint  #preds, then per pred: uvarint PID, varint CID delta
-//	uvarint  #dset, then per entry:
-//	         uvarint offset, byte flags(IsLoad), [8B value if load],
-//	         uvarint #pred, per pred uvarint PID + uvarint CID
-//	uvarint  #pset, then per entry: uvarint cid-delta-back, uvarint offset
-//	uvarint  #vlog, then per entry: uvarint offset, 8B value
+// The wire format is specified in DESIGN.md ("Log wire format and
+// validation invariants"); the encoder below is the normative
+// implementation. Decoding treats the input as untrusted: every count
+// is bounded by the bytes remaining, every field must round-trip its
+// in-memory type, and every failure is a typed *CorruptError — a
+// corrupt log is rejected, never panicked or ballooned on.
 //
 // The Karma baseline is the same stream without the dset/pset/vlog
 // sections (their three zero-count varints are charged to Karma too, so
 // the comparison is conservative toward Karma).
+
+// Decoding limits: a hostile log must not drive allocation or SN
+// arithmetic beyond what its own byte length can justify.
+const (
+	// maxCores caps the decoded core count (and thus ChunkRef PIDs).
+	maxCores = 1 << 16
+	// maxChunkSize caps one chunk's operation count. Recorder chunks
+	// hold at most MaxChunkOps (default 2048) operations; the cap is
+	// deliberately generous.
+	maxChunkSize = uint64(1) << 40
+	// maxSN bounds sequence numbers so SN arithmetic cannot overflow
+	// int64 even when chunk sizes accumulate across a core's stream.
+	maxSN = int64(1) << 62
+)
 
 func putUvarint(buf []byte, v uint64) []byte {
 	var tmp [binary.MaxVarintLen64]byte
@@ -106,13 +117,20 @@ type decoder struct {
 	err error
 }
 
+// fail records the first decode failure; later reads become no-ops.
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = &CorruptError{Pos: d.pos, What: fmt.Sprintf(format, args...)}
+	}
+}
+
 func (d *decoder) uvarint() uint64 {
 	if d.err != nil {
 		return 0
 	}
 	v, n := binary.Uvarint(d.b[d.pos:])
 	if n <= 0 {
-		d.err = fmt.Errorf("relog: truncated uvarint at %d", d.pos)
+		d.fail("truncated uvarint")
 		return 0
 	}
 	d.pos += n
@@ -125,7 +143,7 @@ func (d *decoder) varint() int64 {
 	}
 	v, n := binary.Varint(d.b[d.pos:])
 	if n <= 0 {
-		d.err = fmt.Errorf("relog: truncated varint at %d", d.pos)
+		d.fail("truncated varint")
 		return 0
 	}
 	d.pos += n
@@ -137,7 +155,7 @@ func (d *decoder) byte() byte {
 		return 0
 	}
 	if d.pos >= len(d.b) {
-		d.err = fmt.Errorf("relog: truncated byte at %d", d.pos)
+		d.fail("truncated byte")
 		return 0
 	}
 	v := d.b[d.pos]
@@ -150,7 +168,7 @@ func (d *decoder) u64() uint64 {
 		return 0
 	}
 	if d.pos+8 > len(d.b) {
-		d.err = fmt.Errorf("relog: truncated u64 at %d", d.pos)
+		d.fail("truncated u64")
 		return 0
 	}
 	v := binary.LittleEndian.Uint64(d.b[d.pos:])
@@ -158,42 +176,93 @@ func (d *decoder) u64() uint64 {
 	return v
 }
 
+// count reads an element count and rejects it unless the remaining
+// input could hold that many elements of at least elemMin bytes each —
+// the bound that keeps allocation proportional to the input size.
+func (d *decoder) count(what string, elemMin int) int {
+	v := d.uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if rem := len(d.b) - d.pos; v > uint64(rem/elemMin) {
+		d.fail("%s %d exceeds the %d remaining bytes", what, v, rem)
+		return 0
+	}
+	return int(v)
+}
+
+// offset32 reads a set-entry offset, rejecting values that would not
+// round-trip through the int32 field (silent wrapping would relocate
+// the entry to a bogus chunk position).
+func (d *decoder) offset32() int32 {
+	v := d.uvarint()
+	if d.err == nil && v > math.MaxInt32 {
+		d.fail("offset %d overflows int32", v)
+		return 0
+	}
+	return int32(v)
+}
+
+// pid reads a core id, bounded by the cap DecodeLog places on the core
+// count so ChunkRef PIDs are always small non-negative ints.
+func (d *decoder) pid() int {
+	v := d.uvarint()
+	if d.err == nil && v >= maxCores {
+		d.fail("core id %d out of range", v)
+		return 0
+	}
+	return int(v)
+}
+
 // DecodeChunk parses one chunk, given the same context used to encode.
-// startSN is derived from the previous chunk's EndSN.
+// startSN is derived from the previous chunk's EndSN and must be in
+// [1, maxSN]. The input is untrusted: any malformed byte sequence
+// yields a *CorruptError (wrapping ErrCorrupt), never a panic, and
+// allocation stays proportional to len(b).
 func DecodeChunk(b []byte, pid int, cid int64, prevTS, prevCID int64, startSN SN) (*Chunk, int, error) {
 	d := &decoder{b: b}
 	c := &Chunk{PID: pid, CID: cid, StartSN: startSN}
 	size := d.uvarint()
+	if d.err == nil && (int64(startSN) < 1 ||
+		size > maxChunkSize || int64(size) > maxSN-int64(startSN)) {
+		d.fail("chunk size %d out of range at start SN %d", size, int64(startSN))
+	}
+	if d.err != nil {
+		return nil, d.pos, d.err
+	}
 	c.EndSN = startSN + SN(size) - 1
 	c.TS = prevTS + d.varint()
-	np := d.uvarint()
-	for i := uint64(0); i < np; i++ {
-		c.Preds = append(c.Preds, ChunkRef{PID: int(d.uvarint()), CID: d.varint()})
+	np := d.count("pred count", 2)
+	for i := 0; i < np && d.err == nil; i++ {
+		c.Preds = append(c.Preds, ChunkRef{PID: d.pid(), CID: d.varint()})
 	}
-	nd := d.uvarint()
-	for i := uint64(0); i < nd; i++ {
+	nd := d.count("D_set count", 3)
+	for i := 0; i < nd && d.err == nil; i++ {
 		var e DEntry
-		e.Offset = int32(d.uvarint())
+		e.Offset = d.offset32()
 		e.IsLoad = d.byte()&1 != 0
 		if e.IsLoad {
 			e.Value = d.u64()
 		}
-		npred := d.uvarint()
-		for j := uint64(0); j < npred; j++ {
-			e.Pred = append(e.Pred, ChunkRef{PID: int(d.uvarint()), CID: d.varint()})
+		npred := d.count("D_set pred count", 2)
+		for j := 0; j < npred && d.err == nil; j++ {
+			e.Pred = append(e.Pred, ChunkRef{PID: d.pid(), CID: d.varint()})
 		}
 		c.DSet = append(c.DSet, e)
 	}
-	ns := d.uvarint()
-	for i := uint64(0); i < ns; i++ {
+	ns := d.count("P_set count", 2)
+	for i := 0; i < ns && d.err == nil; i++ {
 		back := d.varint()
-		c.PSet = append(c.PSet, PEntry{SrcCID: prevCID - back, Offset: int32(d.uvarint())})
+		c.PSet = append(c.PSet, PEntry{SrcCID: prevCID - back, Offset: d.offset32()})
 	}
-	nv := d.uvarint()
-	for i := uint64(0); i < nv; i++ {
-		c.VLog = append(c.VLog, VEntry{Offset: int32(d.uvarint()), Value: d.u64()})
+	nv := d.count("V_log count", 9)
+	for i := 0; i < nv && d.err == nil; i++ {
+		c.VLog = append(c.VLog, VEntry{Offset: d.offset32(), Value: d.u64()})
 	}
-	return c, d.pos, d.err
+	if d.err != nil {
+		return nil, d.pos, d.err
+	}
+	return c, d.pos, nil
 }
 
 // EncodeLog serializes a complete log (length-prefixed per-core chunk
@@ -215,44 +284,57 @@ func EncodeLog(l *Log) []byte {
 	return b
 }
 
-// DecodeLog parses EncodeLog output.
+// DecodeLog parses EncodeLog output. The input is untrusted: any
+// malformed byte sequence — truncation, inflated counts, overflowing
+// lengths, trailing garbage — yields a *CorruptError (wrapping
+// ErrCorrupt), never a panic, with allocation proportional to len(b).
+// DecodeLog checks only wire-level well-formedness; call Validate on
+// the result to check the recorder's semantic invariants.
 func DecodeLog(b []byte) (*Log, error) {
 	d := &decoder{b: b}
-	n := int(d.uvarint())
+	cores := d.uvarint()
 	if d.err != nil {
 		return nil, d.err
 	}
-	if n <= 0 || n > 1<<16 {
-		return nil, fmt.Errorf("relog: implausible core count %d", n)
+	if cores == 0 || cores > maxCores {
+		return nil, &CorruptError{Pos: 0, What: fmt.Sprintf("implausible core count %d", cores)}
 	}
+	n := int(cores)
 	l := NewLog(n)
 	for pid := 0; pid < n; pid++ {
-		cnt := int(d.uvarint())
+		// A chunk record is at least 7 bytes: a length prefix plus a
+		// minimal body (size, ts delta, four zero counts).
+		cnt := d.count("chunk count", 7)
 		var prevTS, prevCID int64
 		startSN := SN(1)
-		for i := 0; i < cnt; i++ {
-			ln := int(d.uvarint())
+		for i := 0; i < cnt && d.err == nil; i++ {
+			ln := d.uvarint()
 			if d.err != nil {
-				return nil, d.err
+				break
 			}
-			if d.pos+ln > len(d.b) {
-				return nil, fmt.Errorf("relog: truncated chunk on core %d", pid)
+			if ln > uint64(len(d.b)-d.pos) {
+				d.fail("chunk of %d bytes on core %d exceeds the remaining input", ln, pid)
+				break
 			}
-			c, used, err := DecodeChunk(d.b[d.pos:d.pos+ln], pid, int64(i), prevTS, prevCID, startSN)
+			c, used, err := DecodeChunk(d.b[d.pos:d.pos+int(ln)], pid, int64(i), prevTS, prevCID, startSN)
 			if err != nil {
-				return nil, err
+				return nil, &CorruptError{Pos: d.pos, What: fmt.Sprintf("core %d chunk %d: %v", pid, i, err)}
 			}
-			if used != ln {
-				return nil, fmt.Errorf("relog: chunk length mismatch on core %d (%d != %d)", pid, used, ln)
+			if used != int(ln) {
+				return nil, &CorruptError{Pos: d.pos,
+					What: fmt.Sprintf("core %d chunk %d: length prefix says %d bytes, body used %d", pid, i, ln, used)}
 			}
-			d.pos += ln
+			d.pos += used
 			prevTS, prevCID = c.TS, c.CID
 			startSN = c.EndSN + 1
 			l.Append(c)
 		}
+		if d.err != nil {
+			return nil, d.err
+		}
 	}
-	if d.err != nil {
-		return nil, d.err
+	if d.pos != len(d.b) {
+		return nil, &CorruptError{Pos: d.pos, What: fmt.Sprintf("%d trailing bytes", len(d.b)-d.pos)}
 	}
 	return l, nil
 }

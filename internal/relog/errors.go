@@ -1,0 +1,52 @@
+package relog
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the sentinel every wire-level decode failure wraps:
+// truncated varints, counts that exceed the remaining input, fields
+// that do not fit their in-memory types. Test with errors.Is.
+var ErrCorrupt = errors.New("relog: corrupt log encoding")
+
+// ErrInvalid is the sentinel every semantic validation failure wraps:
+// a log that decoded cleanly but violates an invariant the recorder
+// guarantees (see Validate). Test with errors.Is.
+var ErrInvalid = errors.New("relog: invalid log")
+
+// CorruptError reports a wire-level decode failure. Pos is the byte
+// offset inside the buffer being decoded (chunk-relative when the
+// failure happened inside a chunk body).
+type CorruptError struct {
+	Pos  int
+	What string
+}
+
+func (e *CorruptError) Error() string {
+	return fmt.Sprintf("relog: corrupt log at byte %d: %s", e.Pos, e.What)
+}
+
+func (e *CorruptError) Unwrap() error { return ErrCorrupt }
+
+// ValidationError reports the first semantic invariant a decoded log
+// violates. PID is -1 for log-level violations and CID is -1 for
+// core-level ones.
+type ValidationError struct {
+	PID int
+	CID int64
+	Msg string
+}
+
+func (e *ValidationError) Error() string {
+	switch {
+	case e.PID < 0:
+		return fmt.Sprintf("relog: invalid log: %s", e.Msg)
+	case e.CID < 0:
+		return fmt.Sprintf("relog: invalid log: core %d: %s", e.PID, e.Msg)
+	default:
+		return fmt.Sprintf("relog: invalid log: core %d chunk %d: %s", e.PID, e.CID, e.Msg)
+	}
+}
+
+func (e *ValidationError) Unwrap() error { return ErrInvalid }

@@ -50,12 +50,30 @@ func (m Mismatch) String() string {
 		m.PID, m.SN, m.Kind, uint64(m.Addr), m.Got, m.Want, m.Comment)
 }
 
+// Defect is a log/workload inconsistency discovered during replay that
+// cannot be expressed as a value mismatch — e.g. a D_set entry that
+// marks a load as a delayed store. Before the log pipeline was
+// hardened these were panics; they now surface typed in Result.
+type Defect struct {
+	PID int
+	SN  SN
+	Msg string
+}
+
+func (d Defect) Error() string {
+	return fmt.Sprintf("replay defect: core %d sn %d: %s", d.PID, int64(d.SN), d.Msg)
+}
+
 // Result summarizes a replay.
 type Result struct {
 	OpsReplayed int64
 	// Mismatches holds up to 32 divergences; MismatchCount is the total.
 	Mismatches    []Mismatch
 	MismatchCount int64
+	// Defects holds up to 32 log/workload inconsistencies (typed
+	// errors, formerly panics); DefectCount is the total.
+	Defects     []Defect
+	DefectCount int64
 	// OrderBreaks counts chunks force-started despite unsatisfied
 	// predecessors (only possible when the log cannot represent the
 	// execution — e.g. Karma under RC).
@@ -75,7 +93,8 @@ type Result struct {
 // Deterministic reports whether the replay reproduced the recording
 // exactly.
 func (r *Result) Deterministic() bool {
-	return r.MismatchCount == 0 && r.OrderBreaks == 0 && r.LeftoverSSB == 0
+	return r.MismatchCount == 0 && r.OrderBreaks == 0 && r.LeftoverSSB == 0 &&
+		r.DefectCount == 0
 }
 
 // Config parameterizes a replay.
@@ -323,13 +342,20 @@ func (r *replayer) applyStore(pid int, sn SN, op trace.Op) {
 	case trace.Release:
 		r.mem[op.Addr] = 0
 	default:
-		panic("replay: applyStore on non-store")
+		// The log delayed this SN as a store but the workload op is not
+		// one: a log/workload mismatch, not a crash.
+		r.defect(Defect{PID: pid, SN: sn,
+			Msg: fmt.Sprintf("delayed %v executed as a store", op.Kind)})
 	}
 }
 
 // check compares a replayed load value with the recording.
 func (r *replayer) check(pid int, sn SN, op trace.Op, got uint64, fromLog bool) {
 	if r.expected == nil {
+		return
+	}
+	if sn < 1 || int64(sn) > int64(len(r.expected[pid])) {
+		r.defect(Defect{PID: pid, SN: sn, Msg: "no recorded outcome for this SN"})
 		return
 	}
 	want := r.expected[pid][sn-1].Value
@@ -347,6 +373,10 @@ func (r *replayer) checkRMW(pid int, sn SN, op trace.Op, old uint64, applied boo
 	if r.expected == nil {
 		return
 	}
+	if sn < 1 || int64(sn) > int64(len(r.expected[pid])) {
+		r.defect(Defect{PID: pid, SN: sn, Msg: "no recorded outcome for this SN"})
+		return
+	}
 	rec := r.expected[pid][sn-1]
 	if old != rec.Value || applied != rec.Applied {
 		r.mismatch(Mismatch{PID: pid, SN: sn, Kind: op.Kind, Addr: op.Addr,
@@ -359,6 +389,13 @@ func (r *replayer) mismatch(m Mismatch) {
 	r.res.MismatchCount++
 	if len(r.res.Mismatches) < 32 {
 		r.res.Mismatches = append(r.res.Mismatches, m)
+	}
+}
+
+func (r *replayer) defect(d Defect) {
+	r.res.DefectCount++
+	if len(r.res.Defects) < 32 {
+		r.res.Defects = append(r.res.Defects, d)
 	}
 }
 
@@ -391,11 +428,22 @@ func (r *replayer) flushSSB() {
 // FinalMemory is returned by RunWithMemory for final-state comparison.
 type FinalMemory map[coherence.Addr]uint64
 
-// RunWithMemory is Run but also returns the final memory image.
+// RunWithMemory is Run but also returns the final memory image. The
+// log is semantically validated (relog.Validate) before any chunk
+// executes: a log that violates the recorder's invariants is rejected
+// with an error wrapping relog.ErrInvalid instead of replayed on a
+// best-effort basis.
 func RunWithMemory(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecord, cfg Config) (*Result, FinalMemory, error) {
+	if err := relog.Validate(log); err != nil {
+		return nil, nil, fmt.Errorf("replay: rejecting log: %w", err)
+	}
 	if len(w.Threads) != log.Cores {
 		return nil, nil, fmt.Errorf("replay: workload has %d threads, log has %d cores",
 			len(w.Threads), log.Cores)
+	}
+	if expected != nil && len(expected) != log.Cores {
+		return nil, nil, fmt.Errorf("replay: recorded outcomes cover %d cores, log has %d",
+			len(expected), log.Cores)
 	}
 	r := &replayer{
 		cfg:       cfg,

@@ -65,13 +65,56 @@ func ParseMode(name string) (Mode, error) { return record.ParseMode(name) }
 func ModeNames() []string { return record.ModeNames() }
 
 // DecodeLogStats parses a log in the wire encoding (as written by
-// EncodedLog / `pacifier -save`) and returns its statistics.
+// EncodedLog / `pacifier -save`) and returns its statistics. It checks
+// only wire-level well-formedness; use AuditLog to also check the
+// recorder's semantic invariants.
 func DecodeLogStats(blob []byte) (LogStats, error) {
 	log, err := relog.DecodeLog(blob)
 	if err != nil {
 		return LogStats{}, err
 	}
 	return log.ComputeStats(), nil
+}
+
+// Log-rejection sentinels, re-exported from internal/relog so callers
+// can classify why AuditLog (or a replay) refused a log file.
+var (
+	// ErrCorruptLog marks wire-level damage: truncation, inflated
+	// counts, fields that do not round-trip.
+	ErrCorruptLog = relog.ErrCorrupt
+	// ErrInvalidLog marks a log that decoded cleanly but violates a
+	// semantic invariant the recorder guarantees (non-monotone
+	// timestamps, unresolvable chunk references, out-of-range set
+	// offsets, double-claimed delayed stores, ...).
+	ErrInvalidLog = relog.ErrInvalid
+)
+
+// LogAudit is AuditLog's structured report over a valid log.
+type LogAudit struct {
+	Bytes         int      // encoded size
+	Cores         int      // recorded core count
+	PerCoreChunks []int    // chunk count per core
+	Stats         LogStats // wire-encoding statistics
+}
+
+// AuditLog decodes blob and checks every invariant of the log pipeline:
+// the wire format (bounded, typed decoding) and the recorder's semantic
+// guarantees (relog.Validate). A nil error means the log will either
+// replay or be rejected deterministically — it can never crash the
+// replayer. The returned error wraps ErrCorruptLog or ErrInvalidLog.
+func AuditLog(blob []byte) (*LogAudit, error) {
+	log, err := relog.DecodeLog(blob)
+	if err != nil {
+		return nil, err
+	}
+	if err := relog.Validate(log); err != nil {
+		return nil, err
+	}
+	a := &LogAudit{Bytes: len(blob), Cores: log.Cores, Stats: log.ComputeStats()}
+	for pid := 0; pid < log.Cores; pid++ {
+		a.PerCoreChunks = append(a.PerCoreChunks, len(log.Chunks(pid)))
+	}
+	return a, nil
 }
 
 // Options configures a recording run.
