@@ -50,18 +50,22 @@ func interruptChannel(name string) <-chan struct{} {
 
 func main() {
 	var (
-		fig      = flag.Int("fig", 0, "figure to regenerate (11, 12, 13; 0 = all)")
-		ops      = flag.Int("ops", 2000, "memory operations per thread (>= 1)")
-		coreArg  = flag.String("cores", "16,32,64", "machine sizes")
-		seed     = flag.Uint64("seed", 1, "simulation seed (>= 1)")
-		jobs     = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 10*time.Minute, "per-job timeout (0 = none)")
+		fig        = flag.Int("fig", 0, "figure to regenerate (11, 12, 13; 0 = all)")
+		ops        = flag.Int("ops", 2000, "memory operations per thread (>= 1)")
+		coreArg    = flag.String("cores", "16,32,64", "machine sizes")
+		seed       = flag.Uint64("seed", 1, "simulation seed (>= 1)")
+		jobs       = flag.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 10*time.Minute, "per-job timeout (0 = none)")
 		cacheDir   = flag.String("cache-dir", harness.DefaultCacheDir, "result cache directory")
 		noCache    = flag.Bool("no-cache", false, "disable the result cache")
 		partialOut = flag.String("partial-out", "experiments_partial.jsonl",
 			"on SIGINT, flush completed results as JSON lines to this file")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		metricsOut = flag.String("metrics", "",
+			"capture each job's metrics snapshot and write the full result set as JSON lines to this file")
+		traceDir = flag.String("trace-dir", "",
+			"write per-job Chrome traces (<spec-hash>.trace.json) into this directory")
 	)
 	flag.Parse()
 
@@ -121,14 +125,15 @@ func main() {
 	for _, app := range pacifier.Apps() {
 		for _, n := range cores {
 			specs = append(specs, harness.JobSpec{
-				Kind:   "app",
-				Name:   app,
-				Cores:  n,
-				Ops:    *ops,
-				Seed:   *seed,
-				Atomic: true,
-				Modes:  []string{"karma", "vol", "gra"},
-				Replay: true,
+				Kind:           "app",
+				Name:           app,
+				Cores:          n,
+				Ops:            *ops,
+				Seed:           *seed,
+				Atomic:         true,
+				Modes:          []string{"karma", "vol", "gra"},
+				Replay:         true,
+				CaptureMetrics: *metricsOut != "",
 			})
 		}
 	}
@@ -138,6 +143,13 @@ func main() {
 		Timeout:   *timeout,
 		Progress:  os.Stderr,
 		Interrupt: interruptChannel("experiments"),
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			finish(1)
+		}
+		opts.TraceDir = *traceDir
 	}
 	if !*noCache {
 		cache, err := harness.OpenCache(*cacheDir)
@@ -185,6 +197,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: interrupted with %d/%d jobs done — %d results flushed to %s\n",
 			len(results), len(specs), len(results), *partialOut)
 		finish(130)
+	}
+
+	if *metricsOut != "" {
+		// Results carry the metrics snapshots (spec.CaptureMetrics), so
+		// the JSONL stream is the metrics artifact. WriteJSONL emits in
+		// canonical hash order; the file is deterministic across runs.
+		f, err := os.Create(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			finish(1)
+		}
+		if err := harness.WriteJSONL(f, results); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			f.Close()
+			finish(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "experiments: %d results with metrics written to %s\n",
+			len(results), *metricsOut)
 	}
 
 	harness.FigureTables(os.Stdout, results, *fig)

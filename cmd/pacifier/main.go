@@ -46,20 +46,26 @@ func main() {
 		verify(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "explain" {
+		explain(os.Args[2:])
+		return
+	}
 
 	var (
-		app       = flag.String("app", "", "SPLASH-2-like application (see -list)")
-		litmus    = flag.String("litmus", "", "litmus test: sb, mp, wrc, iriw, mp-fenced")
-		list      = flag.Bool("list", false, "list applications and exit")
-		cores     = flag.Int("cores", 16, "number of cores (threads)")
-		ops       = flag.Int("ops", 2000, "memory operations per thread")
-		seed      = flag.Uint64("seed", 1, "simulation seed")
-		modeName  = flag.String("mode", "gra", "recorder: "+strings.Join(pacifier.ModeNames(), ", "))
-		nonatomic = flag.Bool("nonatomic", false, "model non-atomic writes (PowerPC/ARM style)")
-		save       = flag.String("save", "", "write the encoded log to this file")
-		load       = flag.String("load", "", "decode a saved log file, print its stats, and exit")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file")
+		app         = flag.String("app", "", "SPLASH-2-like application (see -list)")
+		litmus      = flag.String("litmus", "", "litmus test: sb, mp, wrc, iriw, mp-fenced")
+		list        = flag.Bool("list", false, "list applications and exit")
+		cores       = flag.Int("cores", 16, "number of cores (threads)")
+		ops         = flag.Int("ops", 2000, "memory operations per thread")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		modeName    = flag.String("mode", "gra", "recorder: "+strings.Join(pacifier.ModeNames(), ", "))
+		nonatomic   = flag.Bool("nonatomic", false, "model non-atomic writes (PowerPC/ARM style)")
+		save        = flag.String("save", "", "write the encoded log to this file")
+		load        = flag.String("load", "", "decode a saved log file, print its stats, and exit")
+		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
+		traceFile   = flag.String("trace", "", "write a Chrome trace (record + replay events) to this file")
+		metricsFile = flag.String("metrics", "", "write the run's metrics snapshot JSON to this file")
 	)
 	flag.Parse()
 
@@ -117,7 +123,12 @@ func main() {
 	if mode != pacifier.Karma {
 		modes = append(modes, pacifier.Karma) // for the overhead metric
 	}
-	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic}, modes...)
+	var tr *pacifier.Tracer
+	if *traceFile != "" {
+		tr = pacifier.NewTracer(w.Name)
+		flushTraceOnInterrupt(*traceFile, tr)
+	}
+	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic, Tracer: tr}, modes...)
 	if err != nil {
 		fail("record: %v", err)
 	}
@@ -138,7 +149,7 @@ func main() {
 	}
 	fmt.Printf("LHB max         %d (configured 16)\n", run.LHBMax(mode))
 
-	res, err := run.Replay(mode)
+	res, err := run.ReplayTraced(mode, tr)
 	if err != nil {
 		fail("replay: %v", err)
 	}
@@ -148,6 +159,9 @@ func main() {
 	} else {
 		fmt.Printf("verdict         DIVERGED: %d mismatches, %d order breaks\n",
 			res.MismatchCount, res.OrderBreaks)
+		if res.Divergence != nil {
+			fmt.Printf("  %s\n", res.Divergence.String())
+		}
 		for i, m := range res.Mismatches {
 			if i >= 5 {
 				break
@@ -169,6 +183,139 @@ func main() {
 		}
 		fmt.Printf("log written     %s (%d bytes)\n", *save, len(blob))
 	}
+
+	if *metricsFile != "" {
+		if err := pacifier.WriteMetricsFile(*metricsFile, run.Metrics()); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("metrics written %s\n", *metricsFile)
+	}
+	if *traceFile != "" {
+		if err := pacifier.WriteTraceFile(*traceFile, tr); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("trace written   %s (%d events)\n", *traceFile, tr.Len())
+	}
+}
+
+// flushTraceOnInterrupt arranges for a SIGINT to flush whatever the
+// tracer has buffered so far before exiting. The write is atomic (temp
+// file + rename), so even an interrupt mid-run can only produce a
+// complete, parseable trace file — never a truncated one. The tracer's
+// buffer is mutex-protected, so reading it from the signal goroutine
+// while the simulation emits is safe.
+func flushTraceOnInterrupt(path string, tr *pacifier.Tracer) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		<-ch
+		signal.Stop(ch)
+		if err := pacifier.WriteTraceFile(path, tr); err != nil {
+			fmt.Fprintf(os.Stderr, "pacifier: interrupted; trace flush failed: %v\n", err)
+			os.Exit(130)
+		}
+		fmt.Fprintf(os.Stderr, "pacifier: interrupted — flushed %d trace events to %s\n",
+			tr.Len(), path)
+		os.Exit(130)
+	}()
+}
+
+// explain replays a suspect log file against a freshly recorded
+// reference execution of the same workload, and — when the replay
+// diverges — names the first divergent event and cross-correlates it
+// against the record-side event stream. Exit status 0 means the log
+// reproduced the reference execution exactly.
+func explain(args []string) {
+	fs := flag.NewFlagSet("pacifier explain", flag.ExitOnError)
+	var (
+		app       = fs.String("app", "", "SPLASH-2-like application the log was recorded from")
+		litmus    = fs.String("litmus", "", "litmus test the log was recorded from")
+		cores     = fs.Int("cores", 16, "number of cores (threads)")
+		ops       = fs.Int("ops", 2000, "memory operations per thread")
+		seed      = fs.Uint64("seed", 1, "simulation seed of the original recording")
+		modeName  = fs.String("mode", "gra", "recorder mode the log was made under")
+		nonatomic = fs.Bool("nonatomic", false, "model non-atomic writes")
+		traceFile = fs.String("trace", "", "also write the merged record+replay trace to this file")
+	)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fail("usage: pacifier explain [-app|-litmus ...] <logfile>")
+	}
+	file := fs.Arg(0)
+
+	blob, err := os.ReadFile(file)
+	if err != nil {
+		fail("%v", err)
+	}
+	mode, err := pacifier.ParseMode(*modeName)
+	if err != nil {
+		fail("unknown -mode %q (valid: %s)", *modeName, strings.Join(pacifier.ModeNames(), ", "))
+	}
+	var w *pacifier.Workload
+	switch {
+	case *litmus != "":
+		w, err = pacifier.Litmus(*litmus)
+	case *app != "":
+		w, err = pacifier.App(*app, *cores, *ops, *seed)
+	default:
+		fail("explain needs the original workload: -app or -litmus")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	tr := pacifier.NewTracer(w.Name)
+	if *traceFile != "" {
+		flushTraceOnInterrupt(*traceFile, tr)
+	}
+	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic, Tracer: tr}, mode)
+	if err != nil {
+		fail("record reference: %v", err)
+	}
+	res, err := run.ReplayLog(blob, mode, tr)
+	if err != nil {
+		fail("%s: %v", file, err)
+	}
+
+	fmt.Printf("log file        %s (%d bytes)\n", file, len(blob))
+	fmt.Printf("reference       %s (%d cores, seed %d, mode %v)\n",
+		w.Name, len(w.Threads), *seed, mode)
+	fmt.Printf("replayed        %d ops\n", res.OpsReplayed)
+
+	if *traceFile != "" {
+		if err := pacifier.WriteTraceFile(*traceFile, tr); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("trace written   %s (%d events)\n", *traceFile, tr.Len())
+	}
+
+	if res.Deterministic() {
+		fmt.Println("verdict         DETERMINISTIC (log reproduces the reference execution)")
+		return
+	}
+	fmt.Printf("verdict         DIVERGED: %d mismatches, %d order breaks, %d leftover SSB\n",
+		res.MismatchCount, res.OrderBreaks, res.LeftoverSSB)
+	if res.Divergence != nil {
+		fmt.Printf("cause           %s\n", res.Divergence.String())
+	}
+	if exp := pacifier.Explain(tr); exp != nil {
+		if exp.RecordChunk != nil {
+			e := exp.RecordChunk
+			fmt.Printf("recorded as     core %d chunk %d: cycles [%d,%d), %d ops, %d predecessors\n",
+				e.Core, e.CID, e.At, e.At+e.Dur, e.A, e.B)
+		}
+		if exp.ReplayChunk != nil {
+			e := exp.ReplayChunk
+			fmt.Printf("replayed as     core %d chunk %d: cycles [%d,%d), %d ops, stalled %d\n",
+				e.Core, e.CID, e.At, e.At+e.Dur, e.A, e.B)
+		}
+		if exp.PrevOnCore != nil {
+			e := exp.PrevOnCore
+			fmt.Printf("preceded by     chunk %d on the same core (cycles [%d,%d))\n",
+				e.CID, e.At, e.At+e.Dur)
+		}
+	}
+	os.Exit(1)
 }
 
 // sweep runs a fleet of record+replay jobs through the harness and
@@ -183,16 +330,25 @@ func sweep(args []string) {
 		seed      = fs.Uint64("seed", 1, "simulation seed (>= 1)")
 		modesArg  = fs.String("modes", "karma,vol,gra",
 			"recorder modes, co-recorded per job (valid: "+strings.Join(pacifier.ModeNames(), ", ")+")")
-		noReplay  = fs.Bool("no-replay", false, "record only, skip replay verification")
-		nonatomic = fs.Bool("nonatomic", false, "model non-atomic writes")
-		jobs      = fs.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
-		timeout   = fs.Duration("timeout", 10*time.Minute, "per-job timeout (0 = none)")
-		cacheDir  = fs.String("cache-dir", harness.DefaultCacheDir, "result cache directory")
-		noCache   = fs.Bool("no-cache", false, "disable the result cache")
-		format    = fs.String("format", "jsonl", "output format: jsonl, csv, tables")
-		out       = fs.String("o", "", "write output to this file instead of stdout")
+		noReplay   = fs.Bool("no-replay", false, "record only, skip replay verification")
+		nonatomic  = fs.Bool("nonatomic", false, "model non-atomic writes")
+		jobs       = fs.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+		timeout    = fs.Duration("timeout", 10*time.Minute, "per-job timeout (0 = none)")
+		cacheDir   = fs.String("cache-dir", harness.DefaultCacheDir, "result cache directory")
+		noCache    = fs.Bool("no-cache", false, "disable the result cache")
+		format     = fs.String("format", "jsonl", "output format: jsonl, csv, tables")
+		out        = fs.String("o", "", "write output to this file instead of stdout")
+		metrics    = fs.Bool("metrics", false, "attach each job's full metrics snapshot to its result")
+		traceDir   = fs.String("trace-dir", "", "write per-job Chrome traces (<spec-hash>.trace.json) into this directory")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
 	)
 	fs.Parse(args)
+
+	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	if *ops < 1 {
 		fail("bad -ops %d: need at least 1 memory operation per thread", *ops)
@@ -234,6 +390,7 @@ func sweep(args []string) {
 				specs = append(specs, harness.JobSpec{
 					Kind: "app", Name: a, Cores: n, Ops: *ops, Seed: *seed,
 					Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
+					CaptureMetrics: *metrics,
 				})
 			}
 		}
@@ -249,6 +406,7 @@ func sweep(args []string) {
 		specs = append(specs, harness.JobSpec{
 			Kind: "litmus", Name: l, Seed: *seed,
 			Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
+			CaptureMetrics: *metrics,
 		})
 	}
 	if len(specs) == 0 {
@@ -257,6 +415,12 @@ func sweep(args []string) {
 
 	opts := harness.Options{Workers: *jobs, Timeout: *timeout, Progress: os.Stderr,
 		Interrupt: interruptChannel()}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			fail("%v", err)
+		}
+		opts.TraceDir = *traceDir
+	}
 	if !*noCache {
 		cache, err := harness.OpenCache(*cacheDir)
 		if err != nil {
@@ -289,7 +453,6 @@ func sweep(args []string) {
 		defer f.Close()
 		dst = f
 	}
-	var err error
 	switch *format {
 	case "jsonl":
 		err = harness.WriteJSONL(dst, results)
@@ -308,6 +471,7 @@ func sweep(args []string) {
 		fmt.Fprintf(os.Stderr, "pacifier: sweep done: %d jobs, cache %d hits / %d misses\n",
 			len(specs), hits, misses)
 	}
+	stopProfiles()
 	if interrupted > 0 {
 		os.Exit(130)
 	}
@@ -316,8 +480,10 @@ func sweep(args []string) {
 	}
 }
 
-// verifyReport is `pacifier verify -json`'s output schema.
+// verifyReport is `pacifier verify -json`'s output schema. It shares
+// its schema-version constant with the metrics and trace artifacts.
 type verifyReport struct {
+	SchemaVersion int    `json:"schema_version"`
 	File          string `json:"file"`
 	Bytes         int    `json:"bytes"`
 	Valid         bool   `json:"valid"`
@@ -349,7 +515,7 @@ func verify(args []string) {
 	if err != nil {
 		fail("%v", err)
 	}
-	rep := verifyReport{File: file, Bytes: len(blob)}
+	rep := verifyReport{SchemaVersion: pacifier.SchemaVersion, File: file, Bytes: len(blob)}
 	audit, err := pacifier.AuditLog(blob)
 	switch {
 	case err == nil:

@@ -1,0 +1,42 @@
+// Command tracecheck validates Chrome trace-event JSON files written by
+// the tracing pipeline (`pacifier -trace`, `pacifier sweep -trace-dir`,
+// the harness). It applies the same shared helper the unit tests use
+// (ValidateChromeTrace), so CI and the test suite agree on what a
+// well-formed trace is. Exit status 0 means every file is loadable.
+//
+// Usage:
+//
+//	tracecheck run.trace.json traces/*.trace.json
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"pacifier"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [...]")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, path := range os.Args[1:] {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %v\n", err)
+			bad++
+			continue
+		}
+		if err := pacifier.ValidateChromeTrace(blob); err != nil {
+			fmt.Fprintf(os.Stderr, "tracecheck: %s: %v\n", path, err)
+			bad++
+			continue
+		}
+		fmt.Printf("tracecheck: %s ok (%d bytes)\n", path, len(blob))
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}

@@ -75,6 +75,7 @@ type ackTracker struct {
 	storeSN SN // primary (oldest) store of the epoch, tags Inv/InvAck matching
 	needed  int
 	got     int
+	start   sim.Cycle // epoch open time, for the invalidation-latency histogram
 	// newValObserved: in non-atomic mode, a remote reader was forwarded
 	// the new value before all acks arrived (Section 3.2 trigger).
 	newValObserved bool
@@ -711,6 +712,7 @@ func (c *L1) fillModifiedWithDeps(l cache.Line, val []uint64, ackCount int, deps
 	tr := c.newTracker()
 	tr.line = l
 	tr.storeSN = primary
+	tr.start = c.sys.eng.Now()
 	tr.needed = ackCount
 	tr.stores = append(tr.stores, ms.stores...)
 	tr.rmws = append(tr.rmws, ms.rmws...)
@@ -783,7 +785,10 @@ func (c *L1) onInv(l cache.Line, req noc.NodeID, writer AccessRef) {
 	if ms := s.mshr; ms != nil && !ms.wantM {
 		ms.staleInv = true
 	}
-	if c.arr.Lookup(l) != cache.Invalid {
+	if st := c.arr.Lookup(l); st != cache.Invalid {
+		if c.sys.tr != nil {
+			c.sys.traceMESI(c.pid(), l, st, cache.Invalid)
+		}
 		c.arr.Evict(l)
 	}
 	ev := c.sys.getEvt()
@@ -888,6 +893,9 @@ func (c *L1) maybeCompleteTracker(s *l1Line, tr *ackTracker) {
 		return
 	}
 	tr.finished = true
+	if tr.needed > 0 {
+		c.sys.observeInvLatency(c.sys.eng.Now() - tr.start)
+	}
 	for _, sw := range tr.stores {
 		sw.done(sw.sn)
 	}
@@ -918,6 +926,9 @@ func (c *L1) onFwdGetS(l cache.Line, req noc.NodeID, reqSN SN, homeID noc.NodeID
 	s := c.slot(l)
 	val, fromWB := c.ownedData(s)
 	if !fromWB {
+		if c.sys.tr != nil {
+			c.sys.traceMESI(c.pid(), l, c.arr.Lookup(l), cache.Shared)
+		}
 		c.arr.SetState(l, cache.Shared)
 	}
 	// A forwarded read during our own pending-ack window means the new
@@ -982,7 +993,10 @@ func (c *L1) onFwdGetM(l cache.Line, req noc.NodeID, reqSN SN, writer AccessRef)
 	s.hasWrite, s.lastWrite = false, 0
 	s.lineDeps = s.lineDeps[:0]
 	s.epochStores = s.epochStores[:0]
-	if !fromWB && c.arr.Lookup(l) != cache.Invalid {
+	if st := c.arr.Lookup(l); !fromWB && st != cache.Invalid {
+		if c.sys.tr != nil {
+			c.sys.traceMESI(c.pid(), l, st, cache.Invalid)
+		}
 		c.arr.Evict(l)
 	}
 	out := c.sys.getBuf()
@@ -1015,7 +1029,19 @@ func (c *L1) onPutAck(l cache.Line) {
 // slot's image buffer is allocated at the first fill and reused in place
 // by every later one.
 func (c *L1) install(s *l1Line, st cache.State, val []uint64) {
+	var prev cache.State
+	if c.sys.tr != nil {
+		prev = c.arr.Lookup(s.l)
+	}
 	v, evicted := c.arr.Insert(s.l, st)
+	if c.sys.tr != nil {
+		if evicted {
+			c.sys.traceMESI(c.pid(), v.Line, v.State, cache.Invalid)
+		}
+		if prev != st {
+			c.sys.traceMESI(c.pid(), s.l, prev, st)
+		}
+	}
 	if evicted {
 		vs := c.slot(v.Line)
 		if v.Dirty && v.State == cache.Modified && vs.data != nil {

@@ -3,6 +3,7 @@ package coherence
 import (
 	"pacifier/internal/cache"
 	"pacifier/internal/noc"
+	"pacifier/internal/obs"
 	"pacifier/internal/sim"
 )
 
@@ -64,6 +65,31 @@ type System struct {
 	wordSlab []uint64
 	// evtFree recycles in-flight message events (see msgEvt).
 	evtFree []*msgEvt
+
+	// Observability (nil when disabled): tr receives MESI transition
+	// events; hInvLat samples invalidation-ack collection latencies.
+	tr      *obs.Tracer
+	hInvLat *sim.Histogram
+}
+
+// SetTracer attaches (or detaches, with nil) an event tracer.
+func (s *System) SetTracer(tr *obs.Tracer) { s.tr = tr }
+
+// traceMESI emits one L1 line-state transition. Callers guard with
+// `s.tr != nil` so the disabled path costs a single compare.
+func (s *System) traceMESI(pid int, l cache.Line, old, new cache.State) {
+	s.tr.MESI(pid, int64(l), int64(s.eng.Now()), uint8(old), uint8(new))
+}
+
+// observeInvLatency samples one completed invalidation-ack epoch.
+func (s *System) observeInvLatency(d sim.Cycle) {
+	if s.stats == nil {
+		return
+	}
+	if s.hInvLat == nil {
+		s.hInvLat = s.stats.Histogram("coherence.inv_ack_latency")
+	}
+	s.hInvLat.Observe(int64(d))
 }
 
 // NewSystem builds the memory system. obs may be nil for a bare machine.

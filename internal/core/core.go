@@ -12,6 +12,7 @@ import (
 	"pacifier/internal/coherence"
 	"pacifier/internal/cpu"
 	"pacifier/internal/machine"
+	"pacifier/internal/obs"
 	"pacifier/internal/record"
 	"pacifier/internal/relog"
 	"pacifier/internal/replay"
@@ -25,6 +26,9 @@ type Options struct {
 	Atomic      bool  // write atomicity (the paper's evaluation: true)
 	MaxChunkOps int64 // chunk capacity bound
 	MaxCycles   sim.Cycle
+	// Tracer, when non-nil, receives record-side structured events
+	// from every layer of the machine and every attached recorder.
+	Tracer *obs.Tracer
 }
 
 // DefaultOptions returns the evaluation configuration of Section 6.1.
@@ -72,6 +76,7 @@ func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, 
 	mcfg := machine.DefaultConfig(n)
 	mcfg.Seed = opts.Seed
 	mcfg.Mem.Atomic = opts.Atomic
+	mcfg.Tracer = opts.Tracer
 
 	// Build the machine first to get the shared engine, then the
 	// recorders, then attach the observer. machine.New needs the
@@ -87,6 +92,7 @@ func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, 
 		if opts.MaxChunkOps > 0 {
 			rcfg.MaxChunkOps = opts.MaxChunkOps
 		}
+		rcfg.Tracer = opts.Tracer
 		recs[i] = record.NewRecorder(rcfg, m.Eng, m.Stats)
 	}
 	fo.recs = recs
@@ -134,13 +140,46 @@ func maxPW(r *record.Recorder, n int) int {
 }
 
 // Replay replays the recording of the given mode and verifies it against
-// the recorded execution.
+// the recorded execution. Replay stall histograms accumulate into the
+// run's stats registry.
 func Replay(rr *RunResult, mode record.Mode, scanSeed uint64) (*replay.Result, error) {
+	return ReplayTraced(rr, mode, scanSeed, nil)
+}
+
+// ReplayTraced is Replay with a replay-side event tracer attached (nil
+// behaves exactly like Replay).
+func ReplayTraced(rr *RunResult, mode record.Mode, scanSeed uint64, tr *obs.Tracer) (*replay.Result, error) {
 	rec := rr.Recording(mode)
 	if rec == nil {
 		return nil, fmt.Errorf("core: no recording for mode %v", mode)
 	}
-	return replay.Run(rec.Log, rr.Workload, rr.Records, replay.Config{ScanSeed: scanSeed})
+	return replay.Run(rec.Log, rr.Workload, rr.Records,
+		replay.Config{ScanSeed: scanSeed, Tracer: tr, Stats: rr.Stats})
+}
+
+// ReplayExternal replays an externally supplied (decoded) log against
+// this run's workload and recorded outcomes — the divergence explainer's
+// entry point: the log under suspicion replays against a freshly
+// recorded reference execution. Chunk durations are not part of the
+// wire encoding; they are restored best-effort from the reference
+// recording of the given mode (by chunk id) so the timing model works.
+func ReplayExternal(rr *RunResult, log *relog.Log, mode record.Mode,
+	tr *obs.Tracer) (*replay.Result, error) {
+
+	if ref := rr.Recording(mode); ref != nil && log.Cores == rr.Cores {
+		for pid := 0; pid < log.Cores; pid++ {
+			orig := ref.Log.Chunks(pid)
+			byCID := make(map[int64]sim.Cycle, len(orig))
+			for _, c := range orig {
+				byCID[c.CID] = c.Duration
+			}
+			for _, c := range log.Chunks(pid) {
+				c.Duration = byCID[c.CID]
+			}
+		}
+	}
+	return replay.Run(log, rr.Workload, rr.Records,
+		replay.Config{Tracer: tr, Stats: rr.Stats})
 }
 
 // Slowdown returns the replay slowdown versus native execution for a

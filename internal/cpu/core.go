@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pacifier/internal/coherence"
+	"pacifier/internal/obs"
 	"pacifier/internal/sim"
 	"pacifier/internal/trace"
 )
@@ -128,6 +129,22 @@ type Core struct {
 
 	retired        int64
 	performedLoads int64
+
+	// Observability (nil when disabled): tr receives store-buffer
+	// drain events; hDrainDelay samples the randomized SB delay each
+	// buffered store is assigned at retire.
+	tr          *obs.Tracer
+	hDrainDelay *sim.Histogram
+}
+
+// Instrument attaches the observability hooks: the drain-delay
+// histogram in stats (nil stats = no histogram) and the event tracer
+// (nil = tracing off; the hot paths then cost one nil compare).
+func (c *Core) Instrument(stats *sim.Stats, tr *obs.Tracer) {
+	c.tr = tr
+	if stats != nil {
+		c.hDrainDelay = stats.Histogram("cpu.sb_drain_delay")
+	}
 }
 
 // NewCore builds a core. rng must be a dedicated stream for this core.
@@ -434,6 +451,9 @@ func (c *Core) retire(now sim.Cycle) {
 			if c.cfg.SBDelayMax > 0 {
 				delay = sim.Cycle(c.rng.Intn(c.cfg.SBDelayMax + 1))
 			}
+			if c.hDrainDelay != nil {
+				c.hDrainDelay.Observe(int64(delay))
+			}
 			j := (c.sbHead + c.sbLen) % len(c.sb)
 			c.sb[j] = sbEntry{
 				addr:    in.op.Addr,
@@ -482,6 +502,10 @@ func (c *Core) drainSB(now sim.Cycle) {
 	e.issued = true
 	c.sbIssued++
 	c.sbInFlight++
+	if c.tr != nil {
+		c.tr.SBDrain(c.pid, int64(e.sn), int64(now), int64(e.addr),
+			int64(c.sbLen-c.sbIssued))
+	}
 	c.l1.Store(e.addr, e.val, e.sn, c.storeLocalFn, c.storeDoneFn)
 }
 

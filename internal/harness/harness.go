@@ -26,6 +26,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"pacifier/internal/sim"
 )
 
 // ErrInterrupted marks jobs that were never dispatched because the sweep
@@ -35,7 +37,7 @@ var ErrInterrupted = errors.New("harness: sweep interrupted before job ran")
 // cacheVersion is folded into every spec hash; bump it whenever the
 // simulator, the recorders or the Result schema change meaning, so stale
 // cache entries from older module versions can never be served.
-const cacheVersion = "pacifier-harness-v1"
+const cacheVersion = "pacifier-harness-v2"
 
 // JobSpec identifies one simulation job completely: hashing two equal
 // specs yields the same key, so a spec is also the cache key for its
@@ -65,6 +67,10 @@ type JobSpec struct {
 	Modes []string `json:"modes"`
 	// Replay re-executes and verifies each recorded mode.
 	Replay bool `json:"replay"`
+	// CaptureMetrics attaches the run's full Stats snapshot (counters,
+	// gauges, histograms) to the Result. Part of the spec hash: a
+	// metrics-bearing result and a plain one are different artifacts.
+	CaptureMetrics bool `json:"capture_metrics,omitempty"`
 }
 
 // Hash returns the spec's content hash — a hex SHA-256 over the
@@ -129,6 +135,10 @@ type Result struct {
 	NativeCycles int64        `json:"native_cycles"`
 	MemOps       int64        `json:"mem_ops"`
 	Modes        []ModeResult `json:"modes"`
+	// Metrics is the run's versioned stats snapshot, present only when
+	// the spec requested CaptureMetrics. Snapshots are deterministic
+	// (name-sorted, no wall-clock), so they keep Results byte-stable.
+	Metrics *sim.Snapshot `json:"metrics,omitempty"`
 }
 
 // Mode returns the ModeResult for the named mode (nil if absent).
@@ -173,6 +183,12 @@ type Options struct {
 	// with Err wrapping ErrInterrupted. The CLIs connect it to SIGINT so
 	// a ^C still flushes every completed result.
 	Interrupt <-chan struct{}
+	// TraceDir, if non-empty, makes every executed (non-cached) job
+	// write a Chrome trace-event file <spec-hash>.trace.json of its
+	// record and replay event streams into that directory. Trace files
+	// are written atomically, so an interrupt never leaves a truncated
+	// one. Cache hits skip execution and therefore write no trace.
+	TraceDir string
 
 	// run overrides job execution (tests only; nil = Execute).
 	run func(JobSpec) (*Result, error)
@@ -192,7 +208,11 @@ func Run(specs []JobSpec, opts Options) []Outcome {
 	}
 	runJob := opts.run
 	if runJob == nil {
-		runJob = Execute
+		if dir := opts.TraceDir; dir != "" {
+			runJob = func(s JobSpec) (*Result, error) { return ExecuteTraced(s, dir) }
+		} else {
+			runJob = Execute
+		}
 	}
 
 	outcomes := make([]Outcome, len(specs))

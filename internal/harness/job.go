@@ -2,8 +2,10 @@ package harness
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"pacifier/internal/core"
+	"pacifier/internal/obs"
 	"pacifier/internal/record"
 	"pacifier/internal/replay"
 	"pacifier/internal/trace"
@@ -56,6 +58,17 @@ func workload(spec JobSpec) (*trace.Workload, error) {
 // runner and is safe to call from many goroutines at once — the
 // simulator keeps all its state in the values Execute creates here.
 func Execute(spec JobSpec) (*Result, error) {
+	return executeWith(spec, nil, "")
+}
+
+// ExecuteTraced is Execute with per-job event tracing: the job's record
+// and replay event streams land in <traceDir>/<spec-hash>.trace.json as
+// Chrome trace-event JSON (written atomically after the job finishes).
+func ExecuteTraced(spec JobSpec, traceDir string) (*Result, error) {
+	return executeWith(spec, obs.New(spec.Label()), traceDir)
+}
+
+func executeWith(spec JobSpec, tr *obs.Tracer, traceDir string) (*Result, error) {
 	w, err := workload(spec)
 	if err != nil {
 		return nil, err
@@ -73,6 +86,7 @@ func Execute(spec JobSpec) (*Result, error) {
 	copts := core.DefaultOptions()
 	copts.Seed = spec.Seed
 	copts.Atomic = spec.Atomic
+	copts.Tracer = tr
 	if spec.MaxChunkOps > 0 {
 		copts.MaxChunkOps = spec.MaxChunkOps
 	}
@@ -109,13 +123,23 @@ func Execute(spec JobSpec) (*Result, error) {
 			mr.HasOverhead = true
 		}
 		if spec.Replay {
-			rep, err := core.Replay(rr, m, 0)
+			rep, err := core.ReplayTraced(rr, m, 0, tr)
 			if err != nil {
 				return nil, fmt.Errorf("harness: replay %s/%v: %w", spec.Label(), m, err)
 			}
 			mr.Replay = replayOutcome(rr, rep)
 		}
 		res.Modes = append(res.Modes, mr)
+	}
+	// Snapshot last so replay-side histograms (stall cycles) are in.
+	if spec.CaptureMetrics {
+		res.Metrics = rr.Stats.Snapshot()
+	}
+	if tr != nil && traceDir != "" {
+		path := filepath.Join(traceDir, res.SpecHash+".trace.json")
+		if err := obs.WriteChromeFile(path, tr.Events(), record.ModeNames()); err != nil {
+			return nil, fmt.Errorf("harness: write trace %s: %w", spec.Label(), err)
+		}
 	}
 	return res, nil
 }

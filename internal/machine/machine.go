@@ -10,6 +10,7 @@ import (
 	"pacifier/internal/coherence"
 	"pacifier/internal/cpu"
 	"pacifier/internal/noc"
+	"pacifier/internal/obs"
 	"pacifier/internal/sim"
 	"pacifier/internal/trace"
 )
@@ -43,6 +44,10 @@ type Config struct {
 	CPU   cpu.Config
 	Mem   coherence.Config
 	Noc   noc.Config
+	// Tracer, when non-nil, receives structured events from every
+	// layer (NoC, coherence, cores). Nil = tracing off: the hot paths
+	// pay exactly one pointer compare each.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the Table 4 machine for n cores.
@@ -85,7 +90,9 @@ func New(cfg Config, w *trace.Workload, obs Observer) (*Machine, error) {
 	eng := sim.NewEngine()
 	stats := sim.NewStats()
 	mesh := noc.New(eng, cfg.Noc, stats)
+	mesh.SetTracer(cfg.Tracer)
 	sys := coherence.NewSystem(eng, mesh, cfg.Mem, stats, obs)
+	sys.SetTracer(cfg.Tracer)
 	hub := cpu.NewBarrierHub(cfg.Cores)
 	root := sim.NewRNG(cfg.Seed)
 	m := &Machine{
@@ -100,6 +107,7 @@ func New(cfg Config, w *trace.Workload, obs Observer) (*Machine, error) {
 	for pid := 0; pid < cfg.Cores; pid++ {
 		core := cpu.NewCore(pid, cfg.CPU, eng, sys.L1(pid), w.Threads[pid],
 			hub, obs, root.SplitLabeled(uint64(pid)+0x9000))
+		core.Instrument(stats, cfg.Tracer)
 		m.Cores = append(m.Cores, core)
 		eng.Register(core)
 	}

@@ -12,6 +12,7 @@ package noc
 import (
 	"fmt"
 
+	"pacifier/internal/obs"
 	"pacifier/internal/sim"
 )
 
@@ -56,7 +57,13 @@ type Mesh struct {
 	// Lazily resolved stat counters: Send is the hottest path in the
 	// simulator and must not pay a string-keyed lookup per message.
 	cMessages, cFlits, cHopCycles *sim.Counter
+	// tr, when non-nil, receives one send and one recv event per
+	// message. The nil check is the entire disabled-tracing cost.
+	tr *obs.Tracer
 }
+
+// SetTracer attaches (or detaches, with nil) an event tracer.
+func (m *Mesh) SetTracer(tr *obs.Tracer) { m.tr = tr }
 
 // New builds a mesh over the given engine. It panics if the configuration
 // is invalid, since machine construction errors are programming errors.
@@ -142,6 +149,12 @@ func (m *Mesh) Send(src, dst NodeID, flits int, fn func()) {
 		m.cMessages.Value++
 		m.cFlits.Value += int64(flits)
 		m.cHopCycles.Value += int64(m.Hops(src, dst)) * int64(m.cfg.HopLatency)
+	}
+	if m.tr != nil {
+		now := int64(m.eng.Now())
+		lat := int64(arrive) - now
+		m.tr.NoCSend(int(src), int(dst), int64(flits), now, lat)
+		m.tr.NoCRecv(int(src), int(dst), int64(flits), int64(arrive), lat)
 	}
 	m.eng.After(arrive-m.eng.Now(), fn)
 }

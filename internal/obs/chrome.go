@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+)
+
+// ChromeSchemaVersion mirrors sim.SchemaVersion; obs sits below sim's
+// importers in some build graphs, so the value is asserted equal in
+// tests rather than imported. It is stamped into every trace file as
+// the top-level "schemaVersion" field.
+const ChromeSchemaVersion = 2
+
+// mesiNames maps cache.State values (Invalid, Shared, Exclusive,
+// Modified) to their single-letter MESI names for trace args.
+var mesiNames = [4]string{"I", "S", "E", "M"}
+
+func mesiName(v int64) string {
+	if v >= 0 && v < int64(len(mesiNames)) {
+		return mesiNames[v]
+	}
+	return strconv.FormatInt(v, 10)
+}
+
+// ChromeTrace renders events as Chrome trace-event JSON (the
+// "traceEvents" object form) that Perfetto and chrome://tracing load
+// directly. One process per Side (record = pid 0, replay = pid 1), one
+// thread per core, cycles as timestamps. modeNames maps Event.Mode to
+// a recorder-mode display name (nil or short slices fall back to the
+// numeric mode).
+//
+// The output is built without map iteration and contains no wall-clock
+// data, so identical event streams render byte-identically.
+func ChromeTrace(events []Event, modeNames []string) []byte {
+	var b bytes.Buffer
+	b.WriteString(`{"schemaVersion":`)
+	b.WriteString(strconv.Itoa(ChromeSchemaVersion))
+	b.WriteString(`,"displayTimeUnit":"ns","traceEvents":[`)
+
+	first := true
+	emit := func(f func(*bytes.Buffer)) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteByte('\n')
+		f(&b)
+	}
+
+	// Metadata first: name the processes and per-core threads that
+	// actually appear, in deterministic (side, core) order.
+	type track struct {
+		side Side
+		core int32
+	}
+	seen := map[track]bool{}
+	var tracks []track
+	for _, e := range events {
+		k := track{e.Side, e.Core}
+		if !seen[k] {
+			seen[k] = true
+			tracks = append(tracks, k)
+		}
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].side != tracks[j].side {
+			return tracks[i].side < tracks[j].side
+		}
+		return tracks[i].core < tracks[j].core
+	})
+	sides := map[Side]bool{}
+	for _, t := range tracks {
+		if !sides[t.side] {
+			sides[t.side] = true
+			side := t.side
+			emit(func(b *bytes.Buffer) {
+				fmt.Fprintf(b, `{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%q}}`,
+					side, side.String())
+			})
+		}
+		t := t
+		emit(func(b *bytes.Buffer) {
+			fmt.Fprintf(b, `{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":"core %d"}}`,
+				t.side, t.core, t.core)
+		})
+	}
+
+	for _, e := range events {
+		e := e
+		emit(func(b *bytes.Buffer) { writeChromeEvent(b, e, modeNames) })
+	}
+	b.WriteString("\n]}\n")
+	return b.Bytes()
+}
+
+func chromeModeName(mode int8, modeNames []string) string {
+	if mode >= 0 && int(mode) < len(modeNames) {
+		return modeNames[mode]
+	}
+	if mode < 0 {
+		return ""
+	}
+	return strconv.Itoa(int(mode))
+}
+
+func writeChromeEvent(b *bytes.Buffer, e Event, modeNames []string) {
+	name := e.Kind.String()
+	cat := "machine"
+	switch e.Kind {
+	case KChunkBegin, KChunkCommit, KChunkSquash:
+		cat = "chunk"
+	case KSCVDetect, KSCVSuppress, KVolCycle:
+		cat = "scv"
+	case KSBDrain:
+		cat = "sb"
+	case KMESI:
+		cat = "mesi"
+	case KNoCSend, KNoCRecv:
+		cat = "noc"
+	case KReplayChunk, KReplayDiverge:
+		cat = "replay"
+	}
+	if mn := chromeModeName(e.Mode, modeNames); mn != "" {
+		name += ":" + mn
+	}
+
+	fmt.Fprintf(b, `{"name":%q,"cat":%q,`, name, cat)
+	// Spans are "X" complete events; everything else is an instant.
+	if e.Dur > 0 && (e.Kind == KChunkCommit || e.Kind == KReplayChunk) {
+		fmt.Fprintf(b, `"ph":"X","pid":%d,"tid":%d,"ts":%d,"dur":%d`,
+			e.Side, e.Core, e.At, e.Dur)
+	} else {
+		fmt.Fprintf(b, `"ph":"i","s":"t","pid":%d,"tid":%d,"ts":%d`,
+			e.Side, e.Core, e.At)
+	}
+	b.WriteString(`,"args":{`)
+	writeChromeArgs(b, e)
+	b.WriteString("}}")
+}
+
+func writeChromeArgs(b *bytes.Buffer, e Event) {
+	n := 0
+	arg := func(k string, v int64) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		fmt.Fprintf(b, `%q:%d`, k, v)
+	}
+	args := func(k string, v string) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		n++
+		fmt.Fprintf(b, `%q:%q`, k, v)
+	}
+	if e.CID >= 0 {
+		arg("cid", e.CID)
+	}
+	if e.SN >= 0 && e.Kind != KMESI {
+		arg("sn", e.SN)
+	}
+	switch e.Kind {
+	case KChunkCommit:
+		arg("ops", e.A)
+		arg("preds", e.B)
+	case KChunkSquash:
+		arg("delayed", e.A)
+	case KSCVDetect, KSCVSuppress:
+		arg("dinst", e.A)
+		arg("bound", e.B)
+	case KSBDrain:
+		arg("line", e.A)
+		arg("depth", e.B)
+	case KMESI:
+		arg("line", e.SN)
+		args("from", mesiName(e.A))
+		args("to", mesiName(e.B))
+	case KNoCSend:
+		arg("dst", e.A)
+		arg("flits", e.B)
+		arg("lat", e.Dur)
+	case KNoCRecv:
+		arg("src", e.A)
+		arg("flits", e.B)
+		arg("lat", e.Dur)
+	case KReplayChunk:
+		arg("ops", e.A)
+		arg("stall", e.B)
+	case KReplayDiverge:
+		arg("want", e.A)
+		arg("got", e.B)
+	case KVolCycle:
+		arg("src_pid", e.A)
+		arg("src_sn", e.B)
+	}
+}
+
+// ValidateChromeTrace parses data and checks it is a well-formed
+// trace-event JSON object: a "traceEvents" array whose entries all
+// carry a name, a phase, and integer pid/tid, with timestamps on every
+// non-metadata event. Shared by tests and the CI trace-smoke job.
+func ValidateChromeTrace(data []byte) error {
+	var doc struct {
+		SchemaVersion int               `json:"schemaVersion"`
+		TraceEvents   []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("obs: trace is not valid JSON: %w", err)
+	}
+	if doc.SchemaVersion != ChromeSchemaVersion {
+		return fmt.Errorf("obs: trace schemaVersion = %d, want %d", doc.SchemaVersion, ChromeSchemaVersion)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("obs: trace has no traceEvents")
+	}
+	for i, raw := range doc.TraceEvents {
+		var ev struct {
+			Name *string  `json:"name"`
+			Ph   string   `json:"ph"`
+			Pid  *int64   `json:"pid"`
+			Tid  *int64   `json:"tid"`
+			Ts   *float64 `json:"ts"`
+		}
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return fmt.Errorf("obs: traceEvents[%d]: %w", i, err)
+		}
+		if ev.Name == nil || *ev.Name == "" {
+			return fmt.Errorf("obs: traceEvents[%d]: missing name", i)
+		}
+		if ev.Ph == "" {
+			return fmt.Errorf("obs: traceEvents[%d]: missing ph", i)
+		}
+		if ev.Pid == nil || ev.Tid == nil {
+			return fmt.Errorf("obs: traceEvents[%d]: missing pid/tid", i)
+		}
+		if ev.Ph != "M" && ev.Ts == nil {
+			return fmt.Errorf("obs: traceEvents[%d]: missing ts", i)
+		}
+	}
+	return nil
+}
+
+// WriteFileAtomic writes data to path via a temporary file and rename,
+// so an interrupt mid-write can never leave a truncated, unparseable
+// artifact — either the old file survives or the complete new one does.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+// WriteChromeFile renders events and writes the trace atomically.
+func WriteChromeFile(path string, events []Event, modeNames []string) error {
+	return WriteFileAtomic(path, ChromeTrace(events, modeNames))
+}

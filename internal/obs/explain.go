@@ -1,0 +1,47 @@
+package obs
+
+// Explanation is the cross-correlation of a replay divergence against
+// the record-side event stream: the divergence itself, the recorded
+// chunk it happened in, the replay-side execution span of that chunk,
+// and the chunk the replayer ran immediately before it on the same
+// core (the usual suspect when ordering information is missing).
+type Explanation struct {
+	Diverge     *Event // first replay-side KReplayDiverge, nil if none
+	RecordChunk *Event // record-side KChunkCommit of the same (core, CID)
+	ReplayChunk *Event // replay-side KReplayChunk span of the same (core, CID)
+	PrevOnCore  *Event // replay chunk executed just before on that core
+}
+
+// Correlate scans a merged record+replay event stream (emit order) and
+// explains its first divergence. Returns nil when the stream contains
+// no KReplayDiverge event — i.e. the replay was deterministic.
+func Correlate(events []Event) *Explanation {
+	divIdx := -1
+	for i := range events {
+		if events[i].Kind == KReplayDiverge {
+			divIdx = i
+			break
+		}
+	}
+	if divIdx < 0 {
+		return nil
+	}
+	div := events[divIdx]
+	ex := &Explanation{Diverge: &events[divIdx]}
+	for i := range events {
+		e := &events[i]
+		switch {
+		case e.Kind == KChunkCommit && e.Side == SideRecord &&
+			e.Core == div.Core && e.CID == div.CID && ex.RecordChunk == nil:
+			ex.RecordChunk = e
+		case e.Kind == KReplayChunk && e.Core == div.Core && e.CID == div.CID &&
+			ex.ReplayChunk == nil:
+			ex.ReplayChunk = e
+		case e.Kind == KReplayChunk && e.Core == div.Core && e.CID != div.CID &&
+			i < divIdx:
+			// Latest replay chunk on the core before the divergence.
+			ex.PrevOnCore = e
+		}
+	}
+	return ex
+}

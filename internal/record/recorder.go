@@ -16,6 +16,7 @@ import (
 
 	"pacifier/internal/cache"
 	"pacifier/internal/coherence"
+	"pacifier/internal/obs"
 	"pacifier/internal/relog"
 	"pacifier/internal/scvd"
 	"pacifier/internal/sim"
@@ -103,6 +104,8 @@ type Config struct {
 	// LHBSize is the configured LHB capacity; occupancy beyond it is
 	// counted (Figure 13 reports the high watermark against 16).
 	LHBSize int
+	// Tracer, when non-nil, receives chunk and SCV-detector events.
+	Tracer *obs.Tracer
 }
 
 // DefaultConfig returns the paper's recording parameters.
@@ -130,9 +133,9 @@ type chunkState struct {
 	// preds is a small dedup slice (was a map): chunks typically order
 	// after a handful of predecessors, and repeated adds name a recent
 	// one, so a backwards scan beats hashing.
-	preds  []relog.ChunkRef
-	dset   []relog.DEntry
-	dindex map[int32]int // offset -> dset index (merge preds); lazy
+	preds   []relog.ChunkRef
+	dset    []relog.DEntry
+	dindex  map[int32]int // offset -> dset index (merge preds); lazy
 	pset    []relog.PEntry
 	vlog    []relog.VEntry
 	retired int64
@@ -236,6 +239,12 @@ type Recorder struct {
 	cCyclic, cDegenerate, cPromised        *sim.Counter
 	cScvLogged, cDsetEntries, cVlogEntries *sim.Counter
 	cPerformedWrt                          *sim.Counter
+
+	// Observability (nil when disabled): tr receives chunk/SCV events
+	// under mode index trMode; hChunk samples emitted chunk sizes.
+	tr     *obs.Tracer
+	trMode int8
+	hChunk *sim.Histogram
 }
 
 func (r *Recorder) inc(cp **sim.Counter, name string) {
@@ -261,6 +270,11 @@ func NewRecorder(cfg Config, eng *sim.Engine, stats *sim.Stats) *Recorder {
 		cfg.PWSize = 256
 	}
 	r := &Recorder{cfg: cfg, eng: eng, log: relog.NewLog(cfg.Cores), stats: stats}
+	r.tr = cfg.Tracer
+	r.trMode = int8(cfg.Mode)
+	if stats != nil {
+		r.hChunk = stats.Histogram("record.chunk_ops." + cfg.Mode.String())
+	}
 	for pid := 0; pid < cfg.Cores; pid++ {
 		cs := &coreState{
 			pw:         NewPendingWindow(cfg.PWSize),
@@ -271,11 +285,19 @@ func NewRecorder(cfg Config, eng *sim.Engine, stats *sim.Stats) *Recorder {
 			vlogged:    make(map[SN]struct{}),
 			lineHazard: make(map[cache.Line]int64),
 		}
-		cs.cc = r.newChunkState(cs, 1, 0)
+		cs.cc = r.newChunkState(pid, cs, 1, 0)
 		r.cores = append(r.cores, cs)
 	}
 	if cfg.Mode == ModeVolition {
 		r.vol = scvd.NewVolition(cfg.Cores)
+		if r.tr != nil {
+			// Trace every precise cycle the oracle confirms, tagged
+			// with the open chunk of the closing access's core.
+			r.vol.OnCycle = func(src, dst scvd.Access) {
+				r.tr.VolCycle(r.trMode, dst.PID, r.cores[dst.PID].cc.cid,
+					int64(dst.SN), int64(r.now()), src.PID, int64(src.SN))
+			}
+		}
 	}
 	return r
 }
@@ -287,7 +309,7 @@ func (r *Recorder) now() sim.Cycle {
 	return 0
 }
 
-func (r *Recorder) newChunkState(cs *coreState, startSN SN, ts int64) *chunkState {
+func (r *Recorder) newChunkState(pid int, cs *coreState, startSN SN, ts int64) *chunkState {
 	var c *chunkState
 	if n := len(r.chunkFree); n > 0 {
 		c = r.chunkFree[n-1]
@@ -301,6 +323,9 @@ func (r *Recorder) newChunkState(cs *coreState, startSN SN, ts int64) *chunkStat
 	c.ts = ts
 	c.start = r.now()
 	cs.nextCID++
+	if r.tr != nil {
+		r.tr.ChunkBegin(r.trMode, pid, c.cid, int64(c.start))
+	}
 	return c
 }
 
@@ -426,6 +451,13 @@ func (r *Recorder) emit(pid int, c *chunkState) {
 	dur := c.end - c.start - c.idle
 	if dur < 0 {
 		dur = 0
+	}
+	if r.hChunk != nil {
+		r.hChunk.Observe(int64(c.endSN - c.startSN + 1))
+	}
+	if r.tr != nil {
+		r.tr.ChunkCommit(r.trMode, pid, c.cid, int64(c.start), int64(c.start)+int64(dur),
+			int64(c.endSN-c.startSN+1), int64(len(c.preds)))
 	}
 	out := &relog.Chunk{
 		PID:      pid,
@@ -663,6 +695,20 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 		logIt = logIt && volCycle
 	}
 
+	if r.tr != nil && r.cfg.Mode != ModeKarma && r.cfg.Mode != ModeRAll {
+		// Detector outcome for this termination: a fire (the delayed
+		// destination must be logged) or a suppression (the boundary
+		// proof — Invisi-Bound / PMove-Bound — or the Volition oracle
+		// showed the reordering invisible).
+		if logIt {
+			r.tr.SCVDetect(r.trMode, pid, cs.cc.cid, int64(dinst), int64(r.now()),
+				int64(dinst), int64(b))
+		} else {
+			r.tr.SCVSuppress(r.trMode, pid, cs.cc.cid, int64(dinst), int64(r.now()),
+				int64(dinst), int64(b))
+		}
+	}
+
 	if r.cfg.Mode == ModeRBound {
 		// Everything still pending at the boundary will perform beyond
 		// it: mark it all for logging (no Invisi filtering).
@@ -686,6 +732,9 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 		cs.cc.ts = maxI64(cs.cc.ts, srcTS+1)
 		cs.cc.addPred(srcRef)
 		r.inc(&r.cDegenerate, "record.degenerate_moves")
+		if r.tr != nil {
+			r.tr.ChunkSquash(r.trMode, pid, cs.cc.cid, int64(r.now()), int64(dinst))
+		}
 	}
 
 	if logIt {
@@ -725,7 +774,12 @@ func (r *Recorder) forceClose(pid int, b SN) {
 	cc.end = r.now()
 	cs.lhb = append(cs.lhb, cc)
 	cs.meta = append(cs.meta, chunkMeta{cid: cc.cid, startSN: cc.startSN, endSN: b, ts: cc.ts})
-	cs.cc = r.newChunkState(cs, b+1, cc.ts+1)
+	if r.tr != nil {
+		// An empty forced close is a squashed chunk: it carries only
+		// promised P_set/VLog state, no retired operations.
+		r.tr.ChunkSquash(r.trMode, pid, cc.cid, int64(r.now()), int64(len(cc.pset)))
+	}
+	cs.cc = r.newChunkState(pid, cs, b+1, cc.ts+1)
 }
 
 // closeCurrent closes the open chunk at boundary b and opens the next
@@ -773,7 +827,7 @@ func (r *Recorder) closeCurrent(pid int, b SN, newTS int64, pred *relog.ChunkRef
 		cs.lhbMax = occ
 	}
 	cs.meta = append(cs.meta, chunkMeta{cid: cc.cid, startSN: cc.startSN, endSN: b, ts: cc.ts})
-	cs.cc = r.newChunkState(cs, b+1, newTS)
+	cs.cc = r.newChunkState(pid, cs, b+1, newTS)
 	if pred != nil {
 		cs.cc.addPred(*pred)
 	}

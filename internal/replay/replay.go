@@ -23,6 +23,7 @@ import (
 	"pacifier/internal/coherence"
 	"pacifier/internal/cpu"
 	"pacifier/internal/noc"
+	"pacifier/internal/obs"
 	"pacifier/internal/relog"
 	"pacifier/internal/sim"
 	"pacifier/internal/trace"
@@ -88,6 +89,35 @@ type Result struct {
 	ChunksReplayed int64
 	// StallCycles is the summed wake-up waiting time across cores.
 	StallCycles int64
+	// Divergence pinpoints the first divergent event of the replay in
+	// execution order (nil when the replay was deterministic) — the
+	// explainer's anchor.
+	Divergence *Divergence
+}
+
+// Divergence is the first point where a replay left the recording: the
+// core and chunk being replayed, the operation (when op-scoped), what
+// kind of break it was, and the expected-vs-observed values (when the
+// break is a value comparison).
+type Divergence struct {
+	PID      int    // core the divergence happened on
+	CID      int64  // chunk being replayed (-1 when outside any chunk)
+	SN       SN     // operation serial number (0 when not op-scoped)
+	Kind     string // "value-mismatch", "defect", "order-break" or "leftover-ssb"
+	Expected uint64
+	Observed uint64
+	Detail   string
+}
+
+func (d *Divergence) String() string {
+	s := fmt.Sprintf("first divergence: core %d chunk %d sn %d: %s", d.PID, d.CID, int64(d.SN), d.Kind)
+	if d.Kind == "value-mismatch" {
+		s += fmt.Sprintf(" (expected %d, observed %d)", d.Expected, d.Observed)
+	}
+	if d.Detail != "" {
+		s += " — " + d.Detail
+	}
+	return s
 }
 
 // Deterministic reports whether the replay reproduced the recording
@@ -104,6 +134,11 @@ type Config struct {
 	// ScanSeed perturbs the scheduler's scan order among *ready* chunks.
 	// Any seed must produce identical values — a property the tests use.
 	ScanSeed uint64
+	// Tracer, when non-nil, receives replay-side events (chunk spans
+	// and divergences) for cross-correlation with the record stream.
+	Tracer *obs.Tracer
+	// Stats, when non-nil, collects the replay stall-cycle histogram.
+	Stats *sim.Stats
 }
 
 // ssbKey identifies a delayed store.
@@ -136,6 +171,38 @@ type replayer struct {
 	coreClock []sim.Cycle
 	res       *Result
 	rng       *sim.RNG
+
+	// Observability (nil when disabled).
+	tr     *obs.Tracer
+	hStall *sim.Histogram
+	// cur/curStart scope divergences to the chunk being executed.
+	cur      *relog.Chunk
+	curStart sim.Cycle
+}
+
+// diverge records a divergence for the explainer (first one wins) and
+// mirrors it into the trace stream.
+func (r *replayer) diverge(kind string, pid int, cid int64, sn SN, at sim.Cycle,
+	want, got uint64, detail string) {
+
+	if r.tr != nil {
+		r.tr.ReplayDiverge(pid, cid, int64(sn), int64(at), int64(want), int64(got))
+	}
+	if r.res.Divergence == nil {
+		r.res.Divergence = &Divergence{
+			PID: pid, CID: cid, SN: sn, Kind: kind,
+			Expected: want, Observed: got, Detail: detail,
+		}
+	}
+}
+
+// curCID returns the chunk id the core is currently executing (-1 when
+// the divergence is outside any chunk, e.g. the final SSB flush).
+func (r *replayer) curCID(pid int) int64 {
+	if r.cur != nil && r.cur.PID == pid {
+		return r.cur.CID
+	}
+	return -1
 }
 
 // Run replays log against the workload it was recorded from, comparing
@@ -195,6 +262,9 @@ func (r *replayer) schedule() {
 			panic("replay: accounting error: chunks remain but none found")
 		}
 		r.res.OrderBreaks++
+		r.diverge("order-break", victim.PID, victim.CID, 0, r.coreClock[victim.PID], 0, 0,
+			fmt.Sprintf("chunk ts=%d force-started despite %d unsatisfied predecessor(s)",
+				victim.TS, len(victim.Preds)))
 		r.execute(victim, true)
 		r.cursor[victim.PID]++
 		remaining--
@@ -260,7 +330,12 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 			}
 		}
 	}
-	r.res.StallCycles += int64(startAt - r.coreClock[c.PID])
+	stall := startAt - r.coreClock[c.PID]
+	r.res.StallCycles += int64(stall)
+	if r.hStall != nil {
+		r.hStall.Observe(int64(stall))
+	}
+	r.cur, r.curStart = c, startAt
 
 	// Functional: compensation stores.
 	for _, pe := range c.PSet {
@@ -322,6 +397,11 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 	end := startAt + c.Duration
 	r.coreClock[c.PID] = end
 	r.chunkEnd[ref] = end
+	if r.tr != nil {
+		r.tr.ReplayChunk(c.PID, c.CID, int64(startAt), int64(end),
+			int64(c.EndSN-c.StartSN+1), int64(stall))
+	}
+	r.cur = nil
 	_ = forced
 }
 
@@ -390,6 +470,8 @@ func (r *replayer) mismatch(m Mismatch) {
 	if len(r.res.Mismatches) < 32 {
 		r.res.Mismatches = append(r.res.Mismatches, m)
 	}
+	r.diverge("value-mismatch", m.PID, r.curCID(m.PID), m.SN, r.curStart,
+		m.Want, m.Got, m.Comment)
 }
 
 func (r *replayer) defect(d Defect) {
@@ -397,6 +479,7 @@ func (r *replayer) defect(d Defect) {
 	if len(r.res.Defects) < 32 {
 		r.res.Defects = append(r.res.Defects, d)
 	}
+	r.diverge("defect", d.PID, r.curCID(d.PID), d.SN, r.curStart, 0, 0, d.Msg)
 }
 
 // flushSSB executes any delayed stores never claimed by a P_set, so the
@@ -422,6 +505,8 @@ func (r *replayer) flushSSB() {
 		e := r.ssb[k]
 		r.applyStore(k.pid, e.sn, e.op)
 		r.res.LeftoverSSB++
+		r.diverge("leftover-ssb", k.pid, k.cid, e.sn, r.coreClock[k.pid], 0, 0,
+			fmt.Sprintf("delayed store (offset %d) never claimed by a P_set", k.offset))
 	}
 }
 
@@ -456,6 +541,10 @@ func RunWithMemory(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecor
 		coreClock: make([]sim.Cycle, log.Cores),
 		res:       &Result{},
 		rng:       sim.NewRNG(cfg.ScanSeed ^ 0xeb5),
+		tr:        cfg.Tracer,
+	}
+	if cfg.Stats != nil {
+		r.hStall = cfg.Stats.Histogram("replay.stall_cycles")
 	}
 	if cfg.Mesh.Nodes == 0 {
 		r.cfg.Mesh = noc.DefaultConfig(log.Cores)

@@ -50,6 +50,11 @@ type Volition struct {
 
 	cycles   int64
 	depsSeen int64
+
+	// OnCycle, when non-nil, fires for every dependence edge that
+	// closes an SCV cycle — the observability hook recorders use to
+	// trace precise detections without scvd importing the tracer.
+	OnCycle func(src, dst Access)
 }
 
 // NewVolition creates a detector for n cores.
@@ -85,6 +90,9 @@ func (v *Volition) AddDep(src, dst Access) bool {
 	v.edges[src.PID] = es
 	if cycle {
 		v.cycles++
+		if v.OnCycle != nil {
+			v.OnCycle(src, dst)
+		}
 	}
 	return cycle
 }

@@ -30,18 +30,20 @@ func (g *Gauge) Set(v int64) {
 // Add adjusts the gauge by delta and updates the watermark.
 func (g *Gauge) Add(delta int64) { g.Set(g.Value + delta) }
 
-// Stats is a registry of counters and gauges. It is not safe for
-// concurrent use; the simulation is single-threaded by design.
+// Stats is a registry of counters, gauges and histograms. It is not
+// safe for concurrent use; the simulation is single-threaded by design.
 type Stats struct {
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
 }
 
 // NewStats returns an empty registry.
 func NewStats() *Stats {
 	return &Stats{
-		counters: make(map[string]*Counter),
-		gauges:   make(map[string]*Gauge),
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
 	}
 }
 

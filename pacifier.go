@@ -26,12 +26,66 @@ import (
 	"fmt"
 
 	"pacifier/internal/core"
+	"pacifier/internal/obs"
 	"pacifier/internal/record"
 	"pacifier/internal/relog"
 	"pacifier/internal/replay"
 	"pacifier/internal/sim"
 	"pacifier/internal/trace"
 )
+
+// SchemaVersion is the version stamped into every machine-readable
+// JSON artifact: metrics snapshots, Chrome trace files, and
+// `pacifier verify -json` reports. Downstream tooling gates on it.
+const SchemaVersion = sim.SchemaVersion
+
+// Tracer is the session-scoped structured-event sink (see internal/obs).
+// A nil *Tracer disables tracing at zero cost.
+type Tracer = obs.Tracer
+
+// TraceEvent is one structured event in a Tracer's buffer.
+type TraceEvent = obs.Event
+
+// NewTracer returns an enabled tracer labeled label.
+func NewTracer(label string) *Tracer { return obs.New(label) }
+
+// ChromeTrace renders a tracer's events as Chrome trace-event JSON
+// (Perfetto-loadable): record and replay as processes, cores as
+// threads, cycles as timestamps. Identical runs render byte-identically.
+func ChromeTrace(tr *Tracer) []byte {
+	return obs.ChromeTrace(tr.Events(), record.ModeNames())
+}
+
+// WriteTraceFile writes a tracer's Chrome trace atomically (temp file +
+// rename): an interrupt can never leave a truncated JSON file.
+func WriteTraceFile(path string, tr *Tracer) error {
+	return obs.WriteFileAtomic(path, ChromeTrace(tr))
+}
+
+// ValidateChromeTrace checks that data is well-formed trace-event JSON;
+// used by tests and the CI trace-smoke job.
+func ValidateChromeTrace(data []byte) error { return obs.ValidateChromeTrace(data) }
+
+// MetricsSnapshot is the versioned, deterministic export form of a
+// run's statistics (counters, gauges, log-scaled histograms).
+type MetricsSnapshot = sim.Snapshot
+
+// WriteMetricsFile writes a metrics snapshot as JSON, atomically.
+func WriteMetricsFile(path string, m *MetricsSnapshot) error {
+	blob, err := m.Encode()
+	if err != nil {
+		return err
+	}
+	return obs.WriteFileAtomic(path, blob)
+}
+
+// Divergence pinpoints the first divergent event of a replay (see
+// ReplayResult.Divergence).
+type Divergence = replay.Divergence
+
+// Explanation is a divergence cross-correlated against the record-side
+// event stream (see Explain).
+type Explanation = obs.Explanation
 
 // Mode selects a record-phase policy (SCV-D + logging).
 type Mode = record.Mode
@@ -130,6 +184,10 @@ type Options struct {
 	MaxChunkOps int64
 	// MaxCycles bounds the simulation (0 = default 2e8).
 	MaxCycles int64
+	// Tracer, when non-nil, receives record-side structured events
+	// from every layer (chunks, SCV detections, store-buffer drains,
+	// MESI transitions, NoC messages). Nil = tracing off at zero cost.
+	Tracer *Tracer
 }
 
 // Workload is a multiprocessor program for the simulated machine.
@@ -187,6 +245,7 @@ func Record(w *Workload, opts Options, modes ...Mode) (*Run, error) {
 	copts := core.DefaultOptions()
 	copts.Seed = opts.Seed
 	copts.Atomic = opts.Atomic
+	copts.Tracer = opts.Tracer
 	if opts.MaxChunkOps > 0 {
 		copts.MaxChunkOps = opts.MaxChunkOps
 	}
@@ -211,6 +270,42 @@ func (r *Run) Replay(mode Mode) (*ReplayResult, error) {
 func (r *Run) ReplayWithScanSeed(mode Mode, seed uint64) (*ReplayResult, error) {
 	return core.Replay(r.inner, mode, seed)
 }
+
+// ReplayTraced is Replay with a replay-side event tracer attached. The
+// same tracer may also have recorded the run (Options.Tracer): the two
+// streams then land in one buffer, tagged by side, which is what the
+// divergence explainer correlates.
+func (r *Run) ReplayTraced(mode Mode, tr *Tracer) (*ReplayResult, error) {
+	return core.ReplayTraced(r.inner, mode, 0, tr)
+}
+
+// ReplayLog replays an externally supplied encoded log against this
+// run's workload and recorded outcomes — the divergence explainer's
+// core: a suspect log file replays against a trusted re-recorded
+// reference, and the first divergent event lands in
+// ReplayResult.Divergence. The blob is audited first (AuditLog); chunk
+// durations, which the wire format omits, are restored best-effort
+// from this run's recording of mode.
+func (r *Run) ReplayLog(blob []byte, mode Mode, tr *Tracer) (*ReplayResult, error) {
+	log, err := relog.DecodeLog(blob)
+	if err != nil {
+		return nil, err
+	}
+	if err := relog.Validate(log); err != nil {
+		return nil, err
+	}
+	return core.ReplayExternal(r.inner, log, mode, tr)
+}
+
+// Metrics snapshots the run's statistics registry (counters, gauges,
+// histograms) in the versioned, deterministic export form. Replays of
+// this run accumulate their stall histograms into the same registry,
+// so snapshot after the last replay of interest.
+func (r *Run) Metrics() *MetricsSnapshot { return r.inner.Stats.Snapshot() }
+
+// Explain cross-correlates a merged record+replay event stream around
+// its first divergence (nil when the stream shows none).
+func Explain(tr *Tracer) *obs.Explanation { return obs.Correlate(tr.Events()) }
 
 // NativeCycles is the recorded execution time in simulated cycles.
 func (r *Run) NativeCycles() int64 { return int64(r.inner.NativeCycles) }
