@@ -19,6 +19,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 type benchCase struct {
@@ -96,7 +97,7 @@ func main() {
 	for _, c := range base.Bench {
 		byName[c.Name] = c
 	}
-	failed := false
+	var tripped []string
 	check := func(name, metric string, baseV, candV int64) {
 		if baseV <= 0 {
 			return
@@ -105,7 +106,7 @@ func main() {
 		verdict := "ok"
 		if rel > *tolerance {
 			verdict = "FAIL"
-			failed = true
+			tripped = append(tripped, fmt.Sprintf("%s %s (%+.2f%%)", name, metric, rel*100))
 		}
 		fmt.Printf("benchguard: %-18s %-13s %12d -> %12d  %+6.2f%%  (limit %+.2f%%)  %s\n",
 			name, metric, baseV, candV, rel*100, *tolerance*100, verdict)
@@ -126,8 +127,9 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchguard: no benchmark names in common")
 		os.Exit(2)
 	}
-	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.1f%% tolerance\n", *tolerance*100)
+	if len(tripped) > 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.1f%% tolerance: %s\n",
+			*tolerance*100, strings.Join(tripped, ", "))
 		os.Exit(1)
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime/pprof"
@@ -28,6 +29,8 @@ import (
 	"time"
 
 	"pacifier/internal/harness"
+	"pacifier/internal/telemetry"
+	"pacifier/internal/telemetry/telhttp"
 
 	"pacifier"
 )
@@ -35,14 +38,14 @@ import (
 // interruptChannel converts SIGINT into a harness interrupt: the first
 // ^C stops dispatching and flushes completed results; a second ^C kills
 // the process the normal way.
-func interruptChannel(name string) <-chan struct{} {
+func interruptChannel(logger *slog.Logger) <-chan struct{} {
 	interrupt := make(chan struct{})
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	go func() {
 		<-ch
 		signal.Stop(ch)
-		fmt.Fprintf(os.Stderr, "%s: interrupted — flushing completed results (^C again to kill)\n", name)
+		logger.Warn("interrupted — flushing completed results (^C again to kill)")
 		close(interrupt)
 	}()
 	return interrupt
@@ -66,8 +69,18 @@ func main() {
 			"capture each job's metrics snapshot and write the full result set as JSON lines to this file")
 		traceDir = flag.String("trace-dir", "",
 			"write per-job Chrome traces (<spec-hash>.trace.json) into this directory")
+		httpAddr   = flag.String("http", "", "serve live telemetry (/metrics, /api/fleet, /debug/pprof) on this address during the sweep")
+		httpLinger = flag.Duration("http-linger", 0, "keep the telemetry server up this long after the sweep finishes")
+		logFormat  = flag.String("log-format", "text", "log output format: text, json")
+		logLevel   = flag.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	flag.Parse()
+
+	logger, lerr := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if lerr != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", lerr)
+		os.Exit(1)
+	}
 
 	// finish flushes any requested profiles before exiting; os.Exit skips
 	// defers, so every exit path below must go through it.
@@ -138,11 +151,24 @@ func main() {
 		}
 	}
 
+	var fleet *telemetry.Fleet
+	stopServe := func() {}
+	if *httpAddr != "" {
+		fleet = telemetry.NewFleet()
+		_, _, stop, serr := telhttp.Serve(*httpAddr, telemetry.Enable(), fleet, logger)
+		if serr != nil {
+			logger.Error("telemetry server failed to start", "err", serr)
+			finish(1)
+		}
+		stopServe = stop
+	}
+
 	opts := harness.Options{
 		Workers:   *jobs,
 		Timeout:   *timeout,
-		Progress:  os.Stderr,
-		Interrupt: interruptChannel("experiments"),
+		Logger:    logger,
+		Fleet:     fleet,
+		Interrupt: interruptChannel(logger),
 	}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
@@ -161,41 +187,55 @@ func main() {
 	}
 
 	outcomes := harness.Run(specs, opts)
+	sum := harness.Summarize(outcomes)
 
 	var failed []harness.Outcome
-	interrupted := 0
 	for _, o := range harness.Errs(outcomes) {
 		if errors.Is(o.Err, harness.ErrInterrupted) {
-			interrupted++
 			continue
 		}
 		failed = append(failed, o)
-		fmt.Fprintf(os.Stderr, "experiments: job %s failed: %v\n", o.Spec.Label(), o.Err)
+		logger.Error("job failed", "job", o.Spec.Label(), "err", o.Err)
 	}
 	results := harness.Results(outcomes)
 	for _, r := range results {
 		if m := r.Mode("gra"); m != nil && m.Replay != nil && !m.Replay.Deterministic {
-			fmt.Fprintf(os.Stderr, "WARNING: %s/%d Granule replay diverged!\n",
-				r.Spec.Name, r.Spec.Cores)
+			logger.Warn("Granule replay diverged", "app", r.Spec.Name, "cores", r.Spec.Cores)
 		}
 	}
+	logger.Info("sweep done",
+		"jobs", sum.Total, "ok", sum.Succeeded, "failed", sum.Failed,
+		"cache_hits", sum.CacheHits, "cache_misses", sum.CacheMisses,
+		"interrupted", sum.Interrupted, "summary", sum.String())
+	linger := func() {
+		if *httpAddr != "" && *httpLinger > 0 {
+			logger.Info("telemetry server lingering", "for", httpLinger.String())
+			time.Sleep(*httpLinger)
+		}
+		stopServe()
+	}
 
-	if interrupted > 0 {
+	if interrupted := sum.Interrupted; interrupted > 0 {
 		// Partial sweep: the figure tables would silently look complete,
 		// so flush what finished as JSON lines instead.
 		f, err := os.Create(*partialOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			logger.Error("partial flush failed", "err", err)
 			finish(1)
 		}
-		if err := harness.WriteJSONL(f, results); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		err = harness.WriteJSONL(f, results)
+		if err == nil {
+			err = harness.WriteSummaryJSONL(f, sum)
+		}
+		if err != nil {
+			logger.Error("partial flush failed", "err", err)
 			f.Close()
 			finish(1)
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "experiments: interrupted with %d/%d jobs done — %d results flushed to %s\n",
-			len(results), len(specs), len(results), *partialOut)
+		logger.Warn("interrupted: flushed completed results",
+			"done", len(results), "total", len(specs), "file", *partialOut)
+		linger()
 		finish(130)
 	}
 
@@ -205,21 +245,25 @@ func main() {
 		// canonical hash order; the file is deterministic across runs.
 		f, err := os.Create(*metricsOut)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			logger.Error("metrics write failed", "err", err)
 			finish(1)
 		}
-		if err := harness.WriteJSONL(f, results); err != nil {
-			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		err = harness.WriteJSONL(f, results)
+		if err == nil {
+			err = harness.WriteSummaryJSONL(f, sum)
+		}
+		if err != nil {
+			logger.Error("metrics write failed", "err", err)
 			f.Close()
 			finish(1)
 		}
 		f.Close()
-		fmt.Fprintf(os.Stderr, "experiments: %d results with metrics written to %s\n",
-			len(results), *metricsOut)
+		logger.Info("results with metrics written", "results", len(results), "file", *metricsOut)
 	}
 
 	harness.FigureTables(os.Stdout, results, *fig)
 
+	linger()
 	if len(failed) > 0 {
 		finish(1)
 	}

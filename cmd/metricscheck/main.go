@@ -1,0 +1,156 @@
+// Command metricscheck validates Prometheus text-exposition output
+// (format 0.0.4) — the CI gate behind the serve-smoke job. It parses
+// either files or a live /metrics endpoint with the same linter the
+// telemetry package's tests use, and can additionally require specific
+// metric families to be present.
+//
+// Usage:
+//
+//	metricscheck metrics.txt
+//	metricscheck -url http://localhost:9090/metrics
+//	metricscheck -url http://localhost:9090/metrics \
+//	    -require pacifier_harness_jobs_started_total,pacifier_noc_messages_total
+//
+// Exit status 0 means every input parsed cleanly (and every required
+// family was found); 1 means a violation was detected; 2 means an input
+// could not be read at all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"time"
+
+	"pacifier/internal/telemetry"
+)
+
+func main() {
+	var (
+		url     = flag.String("url", "", "scrape and validate this /metrics endpoint")
+		require = flag.String("require", "", "comma list of metric families that must be present")
+		timeout = flag.Duration("timeout", 10*time.Second, "HTTP scrape timeout")
+	)
+	flag.Parse()
+
+	var inputs []namedInput
+	if *url != "" {
+		body, err := scrape(*url, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+			os.Exit(2)
+		}
+		inputs = append(inputs, namedInput{name: *url, data: body})
+	}
+	for _, path := range flag.Args() {
+		blob, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %v\n", err)
+			os.Exit(2)
+		}
+		inputs = append(inputs, namedInput{name: path, data: blob})
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(os.Stderr, "metricscheck: need -url or at least one file argument")
+		os.Exit(2)
+	}
+
+	var missing, invalid []string
+	for _, in := range inputs {
+		if err := telemetry.LintProm(in.data); err != nil {
+			fmt.Fprintf(os.Stderr, "metricscheck: %s: %v\n", in.name, err)
+			invalid = append(invalid, in.name)
+			continue
+		}
+		families := familiesOf(in.data)
+		var found []string
+		for _, want := range splitList(*require) {
+			if families[want] {
+				found = append(found, want)
+			} else {
+				missing = append(missing, fmt.Sprintf("%s (not in %s)", want, in.name))
+			}
+		}
+		fmt.Printf("metricscheck: %s: ok (%d families", in.name, len(families))
+		if len(found) > 0 {
+			fmt.Printf(", required present: %s", strings.Join(found, " "))
+		}
+		fmt.Println(")")
+	}
+	if len(invalid) > 0 || len(missing) > 0 {
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "metricscheck: missing required families: %s\n",
+				strings.Join(missing, ", "))
+		}
+		os.Exit(1)
+	}
+}
+
+type namedInput struct {
+	name string
+	data []byte
+}
+
+func scrape(url string, timeout time.Duration) ([]byte, error) {
+	client := &http.Client{Timeout: timeout}
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %s", url, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// sampleLine captures the metric name of a sample line.
+var sampleLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)`)
+
+// familiesOf collects the metric family names present in an exposition:
+// histogram sample suffixes (_bucket/_sum/_count) collapse onto their
+// family when the family is TYPE-declared as a histogram.
+func familiesOf(data []byte) map[string]bool {
+	fams := map[string]bool{}
+	hist := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if f, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			parts := strings.Fields(f)
+			if len(parts) == 2 {
+				fams[parts[0]] = true
+				if parts[1] == "histogram" {
+					hist[parts[0]] = true
+				}
+			}
+			continue
+		}
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if m := sampleLine.FindString(line); m != "" {
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				if base, ok := strings.CutSuffix(m, suffix); ok && hist[base] {
+					m = base
+					break
+				}
+			}
+			fams[m] = true
+		}
+	}
+	return fams
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

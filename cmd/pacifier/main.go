@@ -11,6 +11,8 @@
 //	pacifier -load fft.rrlog
 //	pacifier verify fft.rrlog
 //	pacifier sweep -apps fft,lu -cores 16,32 -format csv
+//	pacifier sweep -apps all -http :9090          # live /metrics + /api/fleet
+//	pacifier serve -http :9090 -apps fft,lu       # continuous soak rounds
 //	pacifier bench -o BENCH.json
 package main
 
@@ -19,6 +21,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"runtime"
@@ -29,6 +32,8 @@ import (
 	"time"
 
 	"pacifier/internal/harness"
+	"pacifier/internal/telemetry"
+	"pacifier/internal/telemetry/telhttp"
 
 	"pacifier"
 )
@@ -36,6 +41,10 @@ import (
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "sweep" {
 		sweep(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "serve" {
+		serve(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "bench" {
@@ -342,8 +351,17 @@ func sweep(args []string) {
 		traceDir   = fs.String("trace-dir", "", "write per-job Chrome traces (<spec-hash>.trace.json) into this directory")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
+		httpAddr   = fs.String("http", "", "serve live telemetry (/metrics, /api/fleet, /debug/pprof) on this address during the sweep")
+		httpLinger = fs.Duration("http-linger", 0, "keep the telemetry server up this long after the sweep finishes")
+		logFormat  = fs.String("log-format", "text", "log output format: text, json")
+		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, error")
 	)
 	fs.Parse(args)
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	stopProfiles, err := startProfiles(*cpuprofile, *memprofile)
 	if err != nil {
@@ -413,8 +431,19 @@ func sweep(args []string) {
 		fail("sweep: nothing to run (empty -apps and -litmus)")
 	}
 
-	opts := harness.Options{Workers: *jobs, Timeout: *timeout, Progress: os.Stderr,
-		Interrupt: interruptChannel()}
+	var fleet *telemetry.Fleet
+	stopServe := func() {}
+	if *httpAddr != "" {
+		fleet = telemetry.NewFleet()
+		_, _, stop, err := telhttp.Serve(*httpAddr, telemetry.Enable(), fleet, logger)
+		if err != nil {
+			fail("%v", err)
+		}
+		stopServe = stop
+	}
+
+	opts := harness.Options{Workers: *jobs, Timeout: *timeout, Logger: logger,
+		Fleet: fleet, Interrupt: interruptChannel(logger)}
 	if *traceDir != "" {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			fail("%v", err)
@@ -430,18 +459,17 @@ func sweep(args []string) {
 	}
 
 	outcomes := harness.Run(specs, opts)
-	interrupted := 0
+	sum := harness.Summarize(outcomes)
 	for _, o := range harness.Errs(outcomes) {
 		if errors.Is(o.Err, harness.ErrInterrupted) {
-			interrupted++
 			continue
 		}
-		fmt.Fprintf(os.Stderr, "pacifier: sweep job %s failed: %v\n", o.Spec.Label(), o.Err)
+		logger.Error("sweep job failed", "job", o.Spec.Label(), "err", o.Err)
 	}
 	results := harness.Results(outcomes)
-	if interrupted > 0 {
-		fmt.Fprintf(os.Stderr, "pacifier: sweep interrupted: flushing %d completed results (%d jobs skipped)\n",
-			len(results), interrupted)
+	if sum.Interrupted > 0 {
+		logger.Warn("sweep interrupted: flushing completed results",
+			"flushed", len(results), "skipped", sum.Interrupted)
 	}
 
 	dst := os.Stdout
@@ -455,7 +483,11 @@ func sweep(args []string) {
 	}
 	switch *format {
 	case "jsonl":
-		err = harness.WriteJSONL(dst, results)
+		if err = harness.WriteJSONL(dst, results); err == nil {
+			// The trailing {"summary": ...} record carries the scheduling
+			// side (cache hits/misses, failures) the results exclude.
+			err = harness.WriteSummaryJSONL(dst, sum)
+		}
 	case "csv":
 		err = harness.WriteCSV(dst, results)
 	case "tables":
@@ -466,17 +498,125 @@ func sweep(args []string) {
 	if err != nil {
 		fail("emit: %v", err)
 	}
-	if opts.Cache != nil {
-		hits, misses := opts.Cache.Stats()
-		fmt.Fprintf(os.Stderr, "pacifier: sweep done: %d jobs, cache %d hits / %d misses\n",
-			len(specs), hits, misses)
+	logger.Info("sweep done",
+		"jobs", sum.Total, "ok", sum.Succeeded, "failed", sum.Failed,
+		"cache_hits", sum.CacheHits, "cache_misses", sum.CacheMisses,
+		"interrupted", sum.Interrupted, "summary", sum.String())
+	if *httpAddr != "" && *httpLinger > 0 {
+		logger.Info("telemetry server lingering", "for", httpLinger.String())
+		time.Sleep(*httpLinger)
 	}
+	stopServe()
 	stopProfiles()
-	if interrupted > 0 {
+	if sum.Interrupted > 0 {
 		os.Exit(130)
 	}
 	if len(harness.Errs(outcomes)) > 0 {
 		os.Exit(1)
+	}
+}
+
+// serve runs continuous soak rounds of a small sweep while exposing the
+// live telemetry surface — the standing-service mode of the CLI, useful
+// for watching /metrics and /api/fleet/stream against real load, or as a
+// scrape target while tuning dashboards. Each round bumps the seed so
+// the result cache cannot turn later rounds into no-ops.
+func serve(args []string) {
+	fs := flag.NewFlagSet("pacifier serve", flag.ExitOnError)
+	var (
+		httpAddr  = fs.String("http", ":9090", "address to serve telemetry on")
+		appsArg   = fs.String("apps", "fft,lu", `applications to cycle ("all" or a comma list)`)
+		coreArg   = fs.String("cores", "16", "machine sizes (comma list)")
+		ops       = fs.Int("ops", 2000, "memory operations per thread (>= 1)")
+		seed      = fs.Uint64("seed", 1, "base simulation seed (>= 1); round r uses seed+r")
+		modesArg  = fs.String("modes", "karma,vol,gra", "recorder modes, co-recorded per job")
+		jobs      = fs.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
+		timeout   = fs.Duration("timeout", 10*time.Minute, "per-job timeout (0 = none)")
+		rounds    = fs.Int("rounds", 0, "sweep rounds to run (0 = until interrupted)")
+		interval  = fs.Duration("interval", 2*time.Second, "pause between rounds")
+		logFormat = fs.String("log-format", "text", "log output format: text, json")
+		logLevel  = fs.String("log-level", "info", "log level: debug, info, warn, error")
+	)
+	fs.Parse(args)
+
+	logger, err := telemetry.NewLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fail("%v", err)
+	}
+	if *ops < 1 {
+		fail("bad -ops %d: need at least 1 memory operation per thread", *ops)
+	}
+	if *seed == 0 {
+		fail("bad -seed 0: the seed drives every random choice and must be >= 1")
+	}
+	var modes []string
+	for _, m := range strings.Split(*modesArg, ",") {
+		m = strings.TrimSpace(m)
+		if _, err := pacifier.ParseMode(m); err != nil {
+			fail("%v", err)
+		}
+		modes = append(modes, m)
+	}
+	apps := pacifier.Apps()
+	if *appsArg != "all" {
+		apps = nil
+		for _, a := range strings.Split(*appsArg, ",") {
+			a = strings.TrimSpace(a)
+			if _, err := pacifier.App(a, 2, 1, 1); err != nil {
+				fail("%v", err)
+			}
+			apps = append(apps, a)
+		}
+	}
+	var cores []int
+	for _, s := range strings.Split(*coreArg, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || n < 2 || n > 64 {
+			fail("bad -cores entry %q", s)
+		}
+		cores = append(cores, n)
+	}
+
+	fleet := telemetry.NewFleet()
+	_, _, stopServe, err := telhttp.Serve(*httpAddr, telemetry.Enable(), fleet, logger)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer stopServe()
+	interrupt := interruptChannel(logger)
+
+	for round := 0; *rounds == 0 || round < *rounds; round++ {
+		select {
+		case <-interrupt:
+			logger.Info("serve stopped", "rounds_completed", round)
+			return
+		default:
+		}
+		var specs []harness.JobSpec
+		for _, a := range apps {
+			for _, n := range cores {
+				specs = append(specs, harness.JobSpec{
+					Kind: "app", Name: a, Cores: n, Ops: *ops,
+					Seed: *seed + uint64(round), Atomic: true,
+					Modes: modes, Replay: true,
+				})
+			}
+		}
+		outcomes := harness.Run(specs, harness.Options{
+			Workers: *jobs, Timeout: *timeout,
+			Logger: logger, Fleet: fleet, Interrupt: interrupt,
+		})
+		sum := harness.Summarize(outcomes)
+		logger.Info("soak round complete", "round", round, "summary", sum.String())
+		if sum.Interrupted > 0 {
+			return
+		}
+		select {
+		case <-interrupt:
+			logger.Info("serve stopped", "rounds_completed", round+1)
+			return
+		case <-time.After(*interval):
+		}
 	}
 }
 
@@ -624,14 +764,14 @@ func startProfiles(cpuprofile, memprofile string) (stop func(), err error) {
 // interruptChannel converts the first SIGINT into a harness interrupt
 // (completed jobs are kept and flushed); a second SIGINT kills the
 // process the normal way.
-func interruptChannel() <-chan struct{} {
+func interruptChannel(logger *slog.Logger) <-chan struct{} {
 	interrupt := make(chan struct{})
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, os.Interrupt)
 	go func() {
 		<-ch
 		signal.Stop(ch)
-		fmt.Fprintln(os.Stderr, "pacifier: interrupted — flushing completed results (^C again to kill)")
+		logger.Warn("interrupted — flushing completed results (^C again to kill)")
 		close(interrupt)
 	}()
 	return interrupt

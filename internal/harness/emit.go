@@ -28,6 +28,13 @@ func WriteJSONL(w io.Writer, results []*Result) error {
 	return nil
 }
 
+// WriteSummaryJSONL appends the sweep summary as one trailing JSONL
+// record, `{"summary": {...}}` — distinguishable from result records,
+// which have no "summary" key.
+func WriteSummaryJSONL(w io.Writer, s Summary) error {
+	return json.NewEncoder(w).Encode(map[string]Summary{"summary": s})
+}
+
 // csvHeader is the flat schema: one row per (job, mode).
 var csvHeader = []string{
 	"spec_hash", "kind", "name", "cores", "ops", "seed", "atomic", "max_chunk_ops",

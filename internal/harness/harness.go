@@ -22,17 +22,27 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
 	"pacifier/internal/sim"
+	"pacifier/internal/telemetry"
 )
 
 // ErrInterrupted marks jobs that were never dispatched because the sweep
 // was interrupted (Options.Interrupt). Test with errors.Is.
 var ErrInterrupted = errors.New("harness: sweep interrupted before job ran")
+
+// ErrPanicked marks jobs whose simulation goroutine panicked; the full
+// panic value and stack ride in the wrapping error. Test with errors.Is.
+var ErrPanicked = errors.New("harness: job panicked")
+
+// ErrTimeout marks jobs that exceeded Options.Timeout. Test with
+// errors.Is.
+var ErrTimeout = errors.New("harness: job exceeded timeout")
 
 // cacheVersion is folded into every spec hash; bump it whenever the
 // simulator, the recorders or the Result schema change meaning, so stale
@@ -189,6 +199,13 @@ type Options struct {
 	// are written atomically, so an interrupt never leaves a truncated
 	// one. Cache hits skip execution and therefore write no trace.
 	TraceDir string
+	// Fleet, if non-nil, receives live job-state transitions
+	// (queued/running/done/failed/cached/skipped) for the telemetry
+	// server's /api/fleet endpoints. Nil-safe: a nil fleet is a no-op.
+	Fleet *telemetry.Fleet
+	// Logger, if non-nil, receives the per-job progress records instead
+	// of a plain text logger built over Progress.
+	Logger *slog.Logger
 
 	// run overrides job execution (tests only; nil = Execute).
 	run func(JobSpec) (*Result, error)
@@ -219,14 +236,18 @@ func Run(specs []JobSpec, opts Options) []Outcome {
 	idx := make(chan int)
 	var wg sync.WaitGroup
 
-	prog := newProgress(opts.Progress, len(specs))
+	prog := newProgress(opts.Progress, opts.Logger, len(specs))
+	fleetIDs := make([]int, len(specs))
+	for i, s := range specs {
+		fleetIDs[i] = opts.Fleet.Add(s.Label(), s.Hash())
+	}
 
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				outcomes[i] = runOne(specs[i], opts, runJob)
+				outcomes[i] = runOne(specs[i], opts, runJob, fleetIDs[i])
 				prog.done(outcomes[i])
 			}
 		}()
@@ -243,6 +264,7 @@ dispatch:
 					Spec: specs[j], Hash: specs[j].Hash(),
 					Err: fmt.Errorf("%w: %s", ErrInterrupted, specs[j].Label()),
 				}
+				opts.Fleet.Finish(fleetIDs[j], telemetry.StateSkipped, 0, "interrupted")
 			}
 			break dispatch
 		case idx <- i:
@@ -254,21 +276,44 @@ dispatch:
 }
 
 // runOne runs a single job: cache lookup, guarded execution with
-// timeout, cache store.
-func runOne(spec JobSpec, opts Options, runJob func(JobSpec) (*Result, error)) Outcome {
+// timeout, cache store. It publishes the job's lifecycle to opts.Fleet
+// and to the process-global telemetry counters; both are nil-safe no-ops
+// when monitoring is off, and neither ever feeds the deterministic
+// Outcome, so live monitoring cannot perturb result sets.
+func runOne(spec JobSpec, opts Options, runJob func(JobSpec) (*Result, error), fleetID int) Outcome {
 	start := time.Now()
 	hash := spec.Hash()
 	o := Outcome{Spec: spec, Hash: hash}
+	opts.Fleet.Start(fleetID)
+	telemetry.C("pacifier_harness_jobs_started_total", "Jobs dispatched to the worker pool.").Add(1)
 
 	if opts.Cache != nil {
 		if res, ok := opts.Cache.Get(hash); ok {
 			o.Result, o.Cached, o.Wall = res, true, time.Since(start)
+			opts.Fleet.Finish(fleetID, telemetry.StateCached, o.Wall, "")
+			telemetry.C("pacifier_harness_cache_hits_total", "Jobs served from the on-disk result cache.").Add(1)
 			return o
 		}
+		telemetry.C("pacifier_harness_cache_misses_total", "Jobs that had to simulate (no cached result).").Add(1)
 	}
 
 	res, err := runGuarded(spec, opts.Timeout, runJob)
 	o.Result, o.Err, o.Wall = res, err, time.Since(start)
+
+	switch {
+	case err == nil:
+		opts.Fleet.Finish(fleetID, telemetry.StateDone, o.Wall, "")
+		telemetry.C("pacifier_harness_jobs_completed_total", "Jobs that simulated successfully.").Add(1)
+	default:
+		opts.Fleet.Finish(fleetID, telemetry.StateFailed, o.Wall, err.Error())
+		telemetry.C("pacifier_harness_jobs_failed_total", "Jobs that errored, panicked or timed out.").Add(1)
+		if errors.Is(err, ErrPanicked) {
+			telemetry.C("pacifier_harness_jobs_panicked_total", "Jobs whose simulation goroutine panicked.").Add(1)
+		}
+		if errors.Is(err, ErrTimeout) {
+			telemetry.C("pacifier_harness_jobs_timedout_total", "Jobs that exceeded the per-job timeout.").Add(1)
+		}
+	}
 
 	if err == nil && opts.Cache != nil {
 		// A cache write failure degrades to a miss on the next run; it
@@ -293,7 +338,7 @@ func runGuarded(spec JobSpec, timeout time.Duration, runJob func(JobSpec) (*Resu
 			if p := recover(); p != nil {
 				buf := make([]byte, 4096)
 				buf = buf[:runtime.Stack(buf, false)]
-				reply <- jobReply{err: fmt.Errorf("harness: job %s panicked: %v\n%s", spec.Label(), p, buf)}
+				reply <- jobReply{err: fmt.Errorf("%w: job %s panicked: %v\n%s", ErrPanicked, spec.Label(), p, buf)}
 			}
 		}()
 		res, err := runJob(spec)
@@ -310,7 +355,7 @@ func runGuarded(spec JobSpec, timeout time.Duration, runJob func(JobSpec) (*Resu
 	case r := <-reply:
 		return r.res, r.err
 	case <-timer.C:
-		return nil, fmt.Errorf("harness: job %s exceeded timeout %v", spec.Label(), timeout)
+		return nil, fmt.Errorf("%w: job %s exceeded timeout %v", ErrTimeout, spec.Label(), timeout)
 	}
 }
 
@@ -349,10 +394,61 @@ func EncodeCanonical(results []*Result) ([]byte, error) {
 	return json.MarshalIndent(sorted, "", "  ")
 }
 
-// progress serializes completion reporting across workers.
+// Summary aggregates a sweep's scheduling outcomes — the wall-clock side
+// of the run that the deterministic result set deliberately excludes.
+// The CLIs print String() as the final progress line and append the JSON
+// form as a trailing `{"summary": ...}` record to JSONL output.
+type Summary struct {
+	Total       int   `json:"total"`
+	Succeeded   int   `json:"succeeded"`
+	Failed      int   `json:"failed"`
+	Interrupted int   `json:"interrupted"`
+	CacheHits   int   `json:"cache_hits"`
+	CacheMisses int   `json:"cache_misses"`
+	WallMS      int64 `json:"wall_ms"` // summed per-job wall time
+}
+
+// Summarize reduces a sweep's outcomes to its Summary. Interrupted jobs
+// count as neither failed nor cache misses: they never ran.
+func Summarize(outcomes []Outcome) Summary {
+	var s Summary
+	s.Total = len(outcomes)
+	for _, o := range outcomes {
+		s.WallMS += o.Wall.Milliseconds()
+		switch {
+		case errors.Is(o.Err, ErrInterrupted):
+			s.Interrupted++
+		case o.Err != nil:
+			s.Failed++
+			s.CacheMisses++
+		case o.Cached:
+			s.Succeeded++
+			s.CacheHits++
+		default:
+			s.Succeeded++
+			s.CacheMisses++
+		}
+	}
+	return s
+}
+
+// String renders the one-line sweep summary.
+func (s Summary) String() string {
+	line := fmt.Sprintf("%d jobs: %d ok, %d failed, cache %d hits / %d misses",
+		s.Total, s.Succeeded, s.Failed, s.CacheHits, s.CacheMisses)
+	if s.Interrupted > 0 {
+		line += fmt.Sprintf(", %d interrupted", s.Interrupted)
+	}
+	return line
+}
+
+// progress serializes completion reporting across workers. Reporting is
+// structured: an explicit Logger wins; otherwise a text slog handler is
+// built over the Progress writer, preserving the one-line-per-job
+// contract on stderr.
 type progress struct {
 	mu      sync.Mutex
-	w       io.Writer
+	log     *slog.Logger
 	total   int
 	done_   int
 	cached  int
@@ -361,12 +457,19 @@ type progress struct {
 	simWall time.Duration // wall time of non-cached jobs, for the ETA
 }
 
-func newProgress(w io.Writer, total int) *progress {
-	return &progress{w: w, total: total, start: time.Now()}
+func newProgress(w io.Writer, logger *slog.Logger, total int) *progress {
+	p := &progress{total: total, start: time.Now()}
+	switch {
+	case logger != nil:
+		p.log = logger
+	case w != nil:
+		p.log = slog.New(slog.NewTextHandler(w, nil))
+	}
+	return p
 }
 
 func (p *progress) done(o Outcome) {
-	if p.w == nil {
+	if p.log == nil {
 		return
 	}
 	p.mu.Lock()
@@ -392,7 +495,12 @@ func (p *progress) done(o Outcome) {
 	} else if p.done_ > 0 { // everything cached so far: ETA is effectively zero
 		eta = "0s"
 	}
-	fmt.Fprintf(p.w, "harness: %d/%d %-9s %-16s wall %-8s cached %d failed %d eta %s\n",
-		p.done_, p.total, status, o.Spec.Label(),
-		o.Wall.Round(time.Millisecond), p.cached, p.failed, eta)
+	p.log.Info("harness job finished",
+		"progress", fmt.Sprintf("%d/%d", p.done_, p.total),
+		"status", status,
+		"job", o.Spec.Label(),
+		"wall", o.Wall.Round(time.Millisecond).String(),
+		"cached", p.cached,
+		"failed", p.failed,
+		"eta", eta)
 }

@@ -468,3 +468,39 @@ func TestInterruptFlushesCompletedJobs(t *testing.T) {
 		t.Fatalf("Results() returned %d, want %d", got, completed)
 	}
 }
+
+// TestSummarizeAndJSONL pins the sweep summary arithmetic (satellite:
+// cache hits/misses in the final line and in JSONL output) and the
+// trailing {"summary": ...} record's shape.
+func TestSummarizeAndJSONL(t *testing.T) {
+	outcomes := []Outcome{
+		{Wall: 20 * time.Millisecond},                         // fresh success
+		{Cached: true, Wall: time.Millisecond},                // cache hit
+		{Err: errors.New("boom"), Wall: 5 * time.Millisecond}, // failure
+		{Err: fmt.Errorf("%w: job x", ErrInterrupted)},        // interrupted
+	}
+	s := Summarize(outcomes)
+	want := Summary{Total: 4, Succeeded: 2, Failed: 1, Interrupted: 1,
+		CacheHits: 1, CacheMisses: 2, WallMS: 26}
+	if s != want {
+		t.Errorf("Summarize = %+v, want %+v", s, want)
+	}
+	line := s.String()
+	for _, frag := range []string{"4 jobs", "2 ok", "1 failed", "cache 1 hits / 2 misses", "1 interrupted"} {
+		if !strings.Contains(line, frag) {
+			t.Errorf("summary line %q missing %q", line, frag)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteSummaryJSONL(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	var rec map[string]Summary
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("summary record is not one JSON line: %v", err)
+	}
+	if got, ok := rec["summary"]; !ok || got != want {
+		t.Errorf("JSONL summary record = %+v, want %+v", rec, want)
+	}
+}

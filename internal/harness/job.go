@@ -8,6 +8,7 @@ import (
 	"pacifier/internal/obs"
 	"pacifier/internal/record"
 	"pacifier/internal/replay"
+	"pacifier/internal/telemetry"
 	"pacifier/internal/trace"
 )
 
@@ -122,6 +123,8 @@ func executeWith(spec JobSpec, tr *obs.Tracer, traceDir string) (*Result, error)
 			mr.OverheadVsKarma = core.LogOverhead(karma, rec)
 			mr.HasOverhead = true
 		}
+		telemetry.C("pacifier_record_log_bytes_total", "Encoded log bytes produced.",
+			telemetry.Label{Key: "mode", Value: m.String()}).Add(rec.LogStats.TotalBytes)
 		if spec.Replay {
 			rep, err := core.ReplayTraced(rr, m, 0, tr)
 			if err != nil {

@@ -14,6 +14,8 @@ package obs
 import (
 	"fmt"
 	"sync"
+
+	"pacifier/internal/telemetry"
 )
 
 // Kind enumerates the typed events the stack emits.
@@ -130,12 +132,44 @@ type Tracer struct {
 	mu     sync.Mutex
 	events []Event
 	label  string
+	// limit caps the buffer (0 = unbounded); overflow events are dropped
+	// and counted rather than growing without bound.
+	limit   int
+	dropped int64
+	// Live telemetry (nil while telemetry is disabled).
+	tmEmitted, tmDropped *telemetry.Counter
 }
 
 // New returns an enabled tracer. The label names the trace (it becomes
 // the Chrome trace's process label suffix).
 func New(label string) *Tracer {
-	return &Tracer{label: label, events: make([]Event, 0, 1024)}
+	return &Tracer{
+		label:     label,
+		events:    make([]Event, 0, 1024),
+		tmEmitted: telemetry.C("pacifier_obs_events_emitted_total", "Trace events buffered by tracers."),
+		tmDropped: telemetry.C("pacifier_obs_events_dropped_total", "Trace events dropped at a tracer's buffer limit."),
+	}
+}
+
+// SetLimit caps the event buffer at n events (0 restores unbounded).
+// Events emitted past the cap are dropped and counted, not buffered.
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Dropped returns how many events this tracer discarded at its limit.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
 }
 
 // Label returns the tracer's label ("" for a nil tracer).
@@ -152,8 +186,15 @@ func (t *Tracer) Emit(e Event) {
 		return
 	}
 	t.mu.Lock()
+	if t.limit > 0 && len(t.events) >= t.limit {
+		t.dropped++
+		t.mu.Unlock()
+		t.tmDropped.Add(1)
+		return
+	}
 	t.events = append(t.events, e)
 	t.mu.Unlock()
+	t.tmEmitted.Add(1)
 }
 
 // Len returns the number of buffered events (0 for a nil tracer).

@@ -26,6 +26,7 @@ import (
 	"pacifier/internal/obs"
 	"pacifier/internal/relog"
 	"pacifier/internal/sim"
+	"pacifier/internal/telemetry"
 	"pacifier/internal/trace"
 )
 
@@ -175,6 +176,10 @@ type replayer struct {
 	// Observability (nil when disabled).
 	tr     *obs.Tracer
 	hStall *sim.Histogram
+	// Live telemetry handles, resolved once at construction; nil (one
+	// compare per emit, zero allocations) while telemetry is disabled.
+	tmChunks, tmOps, tmMismatches *telemetry.Counter
+	tmStall                       *telemetry.Histogram
 	// cur/curStart scope divergences to the chunk being executed.
 	cur      *relog.Chunk
 	curStart sim.Cycle
@@ -335,6 +340,9 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 	if r.hStall != nil {
 		r.hStall.Observe(int64(stall))
 	}
+	if r.tmStall != nil {
+		r.tmStall.Observe(int64(stall))
+	}
 	r.cur, r.curStart = c, startAt
 
 	// Functional: compensation stores.
@@ -394,6 +402,10 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 		}
 	}
 	r.res.ChunksReplayed++
+	if r.tmChunks != nil {
+		r.tmChunks.Add(1)
+		r.tmOps.Add(int64(c.EndSN - c.StartSN + 1))
+	}
 	end := startAt + c.Duration
 	r.coreClock[c.PID] = end
 	r.chunkEnd[ref] = end
@@ -467,6 +479,7 @@ func (r *replayer) checkRMW(pid int, sn SN, op trace.Op, old uint64, applied boo
 
 func (r *replayer) mismatch(m Mismatch) {
 	r.res.MismatchCount++
+	r.tmMismatches.Add(1)
 	if len(r.res.Mismatches) < 32 {
 		r.res.Mismatches = append(r.res.Mismatches, m)
 	}
@@ -546,6 +559,10 @@ func RunWithMemory(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecor
 	if cfg.Stats != nil {
 		r.hStall = cfg.Stats.Histogram("replay.stall_cycles")
 	}
+	r.tmChunks = telemetry.C("pacifier_replay_chunks_total", "Chunks replayed.")
+	r.tmOps = telemetry.C("pacifier_replay_ops_total", "Operations replayed.")
+	r.tmMismatches = telemetry.C("pacifier_replay_mismatches_total", "Value mismatches observed during replay.")
+	r.tmStall = telemetry.H("pacifier_replay_stall_cycles", "Cycles a chunk stalled waiting for predecessors.")
 	if cfg.Mesh.Nodes == 0 {
 		r.cfg.Mesh = noc.DefaultConfig(log.Cores)
 	}

@@ -1,0 +1,147 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// TestFleetNilSafe: every Fleet method is a no-op on nil, so the harness
+// can publish unconditionally.
+func TestFleetNilSafe(t *testing.T) {
+	var f *Fleet
+	if id := f.Add("x", "h"); id != -1 {
+		t.Errorf("nil fleet Add = %d, want -1", id)
+	}
+	f.Start(0)
+	f.Finish(0, StateDone, time.Second, "")
+	if s := f.Snapshot(); s.Total != 0 {
+		t.Errorf("nil fleet snapshot has %d jobs", s.Total)
+	}
+	ch, cancel := f.Subscribe(4)
+	defer cancel()
+	if _, ok := <-ch; ok {
+		t.Error("nil fleet subscription delivered an update")
+	}
+}
+
+// TestFleetLifecycleAndSnapshot walks jobs through every state and pins
+// the snapshot arithmetic (counts and cache hit rate).
+func TestFleetLifecycleAndSnapshot(t *testing.T) {
+	f := NewFleet()
+	a := f.Add("fft/p16", "h1")
+	b := f.Add("lu/p16", "h2")
+	c := f.Add("litmus:sb", "h3")
+	d := f.Add("litmus:mp", "h4")
+
+	f.Start(a)
+	f.Finish(a, StateDone, 20*time.Millisecond, "")
+	f.Start(b)
+	f.Finish(b, StateFailed, 5*time.Millisecond, "boom")
+	f.Finish(c, StateCached, time.Millisecond, "")
+	f.Start(d)
+
+	s := f.Snapshot()
+	if s.Total != 4 || s.Done != 1 || s.Failed != 1 || s.Cached != 1 || s.Running != 1 {
+		t.Errorf("snapshot counts wrong: %+v", s)
+	}
+	if want := 1.0 / 3.0; s.CacheHitRate != want {
+		t.Errorf("cache hit rate = %v, want %v", s.CacheHitRate, want)
+	}
+	var running *JobView
+	for i := range s.Jobs {
+		if s.Jobs[i].State == StateRunning {
+			running = &s.Jobs[i]
+		}
+	}
+	if running == nil {
+		t.Fatal("no running job in snapshot")
+	}
+	if running.ETAMS < 0 {
+		t.Errorf("running job has no ETA despite executed history: %+v", running)
+	}
+
+	// Terminal states are sticky: a second Finish must not re-publish.
+	before := len(f.history)
+	f.Finish(a, StateFailed, 0, "late")
+	if len(f.history) != before {
+		t.Error("Finish on a terminal job re-published")
+	}
+}
+
+// TestFleetSubscribeOrdering is the SSE ordering contract: a subscriber
+// joining mid-run first replays history, then sees live transitions, all
+// in strictly increasing Seq order with no gaps, and each job's states
+// arrive in lifecycle order.
+func TestFleetSubscribeOrdering(t *testing.T) {
+	f := NewFleet()
+	a := f.Add("a", "")
+	f.Start(a)
+
+	ch, cancel := f.Subscribe(16)
+	defer cancel()
+
+	f.Finish(a, StateDone, time.Millisecond, "")
+	b := f.Add("b", "")
+	f.Start(b)
+	f.Finish(b, StateFailed, time.Millisecond, "x")
+
+	wantStates := map[int][]JobState{
+		a: {StateQueued, StateRunning, StateDone},
+		b: {StateQueued, StateRunning, StateFailed},
+	}
+	got := map[int][]JobState{}
+	var lastSeq int64
+	for i := 0; i < 6; i++ {
+		select {
+		case u := <-ch:
+			if u.Seq != lastSeq+1 {
+				t.Fatalf("seq gap: %d after %d", u.Seq, lastSeq)
+			}
+			lastSeq = u.Seq
+			got[u.ID] = append(got[u.ID], u.State)
+		case <-time.After(2 * time.Second):
+			t.Fatalf("timed out after %d updates", i)
+		}
+	}
+	for id, want := range wantStates {
+		if len(got[id]) != len(want) {
+			t.Fatalf("job %d: got states %v, want %v", id, got[id], want)
+		}
+		for i := range want {
+			if got[id][i] != want[i] {
+				t.Errorf("job %d transition %d = %s, want %s", id, i, got[id][i], want[i])
+			}
+		}
+	}
+}
+
+// TestFleetSlowSubscriberDrops: a subscriber that stops draining loses
+// updates (counted) but never blocks publishers.
+func TestFleetSlowSubscriberDrops(t *testing.T) {
+	reg := NewRegistry()
+	swapRegistry(t, reg)
+	f := NewFleet() // resolves the dropped counter against reg
+
+	_, cancel := f.Subscribe(1) // deliberately tiny buffer, never drained
+	defer cancel()
+
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 50; i++ {
+			id := f.Add("job", "")
+			f.Finish(id, StateDone, 0, "")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("publisher blocked on a slow subscriber")
+	}
+	// 100 updates went into a subscription whose buffer was clamped up
+	// to len(history)+64 = 64 at subscribe time, so at least 36 must
+	// have been dropped and counted.
+	if got := reg.Counter("pacifier_fleet_sse_dropped_total", "").Value(); got < 36 {
+		t.Errorf("dropped counter = %d, want >= 36", got)
+	}
+}

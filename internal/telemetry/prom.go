@@ -1,0 +1,148 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the text exposition format the
+// writer emits.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// escapeLabelValue applies the exposition format's label-value escaping:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp applies HELP-docstring escaping (backslash and newline;
+// quotes are legal there).
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// renderLabels renders a sorted label set as {k="v",...} ("" when empty).
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label{}, labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabelValue(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format 0.0.4: families sorted by name, one HELP and one TYPE line per
+// family, histograms expanded to cumulative _bucket/_sum/_count series.
+// Values are read once per series with atomic loads; a scrape racing
+// live updates sees each histogram internally consistent (the +Inf
+// bucket always equals _count).
+func (r *Registry) WriteProm(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.Unlock()
+
+	for _, f := range fams {
+		help := f.help
+		if help == "" {
+			help = f.name
+		}
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(help), f.name, f.kind); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		keys := make([]string, len(f.order))
+		copy(keys, f.order)
+		sort.Strings(keys)
+		srs := make([]*series, len(keys))
+		for i, k := range keys {
+			srs[i] = f.series[k]
+		}
+		r.mu.Unlock()
+		for _, s := range srs {
+			var err error
+			switch f.kind {
+			case kindCounter:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.c.Value())
+			case kindGauge:
+				_, err = fmt.Fprintf(w, "%s%s %d\n", f.name, renderLabels(s.labels), s.g.Value())
+			case kindHistogram:
+				err = writeHistogram(w, f.name, s)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeHistogram expands one histogram series into cumulative buckets.
+// Only non-empty log2 buckets get an explicit boundary; the mandatory
+// +Inf bucket carries the total, which is also the _count — both are
+// computed from the same loads so they can never disagree mid-scrape.
+func writeHistogram(w io.Writer, name string, s *series) error {
+	var counts [HistBuckets]int64
+	var total int64
+	for i := range s.h.buckets {
+		counts[i] = s.h.buckets[i].Load()
+		total += counts[i]
+	}
+	sum := s.h.sum.Load()
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		le := renderLabels(s.labels, Label{"le", fmt.Sprintf("%d", bucketHigh(i))})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	inf := renderLabels(s.labels, Label{"le", "+Inf"})
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, inf, total); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %d\n", name, renderLabels(s.labels), sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, renderLabels(s.labels), total)
+	return err
+}

@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a fixed registry covering every exposition
+// feature: plain and labeled counters, label-value escaping (quote,
+// backslash, newline), gauges, and a multi-bucket histogram.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("pacifier_jobs_total", "Jobs dispatched.").Add(42)
+	r.Counter("pacifier_chunks_total", "Chunks committed.",
+		Label{Key: "mode", Value: "gra"}).Add(7)
+	r.Counter("pacifier_chunks_total", "Chunks committed.",
+		Label{Key: "mode", Value: "vol"}).Add(9)
+	r.Counter("pacifier_weird_total", "Escaping exercise.",
+		Label{Key: "path", Value: `C:\logs` + "\n" + `say "hi"`}).Add(1)
+	r.Gauge("pacifier_queue_depth", "Live queue depth.").Set(3)
+	h := r.Histogram("pacifier_latency_cycles", "Latency distribution.")
+	for _, v := range []int64{0, 1, 2, 3, 8} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPromGolden pins the exact exposition bytes, byte for byte, against
+// testdata/prom_golden.txt (regenerate with -update), and requires the
+// output to pass the package's own linter.
+func TestPromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "prom_golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("exposition drifted from golden file:\n--- got ---\n%s\n--- want ---\n%s",
+			buf.Bytes(), want)
+	}
+	if err := LintProm(buf.Bytes()); err != nil {
+		t.Errorf("golden exposition fails the linter: %v", err)
+	}
+}
+
+// TestPromEscaping pins the label-value escape rules one by one.
+func TestPromEscaping(t *testing.T) {
+	cases := map[string]string{
+		`plain`:      `plain`,
+		`back\slash`: `back\\slash`,
+		`qu"ote`:     `qu\"ote`,
+		"new\nline":  `new\nline`,
+	}
+	for in, want := range cases {
+		if got := escapeLabelValue(in); got != want {
+			t.Errorf("escapeLabelValue(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if got := escapeHelp("a\\b\nc"); got != `a\\b\nc` {
+		t.Errorf("escapeHelp = %q", got)
+	}
+}
+
+// TestPromHistogramShape checks the cumulative _bucket/_sum/_count
+// contract: buckets non-decreasing, +Inf present and equal to _count,
+// sum exact.
+func TestPromHistogramShape(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_cycles", "x")
+	var sum int64
+	for v := int64(0); v < 100; v += 7 {
+		h.Observe(v)
+		sum += v
+	}
+	var buf bytes.Buffer
+	if err := r.WriteProm(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if err := LintProm(buf.Bytes()); err != nil {
+		t.Fatalf("linter rejects histogram exposition: %v\n%s", err, out)
+	}
+	for _, want := range []string{
+		`lat_cycles_bucket{le="+Inf"} 15`,
+		"lat_cycles_count 15",
+		"lat_cycles_sum " + strconv.FormatInt(sum, 10),
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLintPromRejections feeds the linter known-bad expositions.
+func TestLintPromRejections(t *testing.T) {
+	bad := map[string]string{
+		"sample before TYPE ok":  "x_total 1\n# TYPE x_total counter\n",
+		"duplicate series":       "# TYPE x_total counter\nx_total 1\nx_total 2\n",
+		"bad metric name":        "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":              "# TYPE x_total counter\nx_total notanumber\n",
+		"unterminated label":     "# TYPE x_total counter\nx_total{a=\"b 1\n",
+		"decreasing buckets":     "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+		"inf bucket != count":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+		"histogram sans buckets": "# TYPE h histogram\nh_sum 1\nh_count 4\n",
+	}
+	for name, doc := range bad {
+		if err := LintProm([]byte(doc)); err == nil {
+			t.Errorf("%s: linter accepted invalid exposition:\n%s", name, doc)
+		}
+	}
+	good := "# HELP x_total Fine.\n# TYPE x_total counter\nx_total{a=\"b\"} 1\nx_total{a=\"c\"} 2\n"
+	if err := LintProm([]byte(good)); err != nil {
+		t.Errorf("linter rejected valid exposition: %v", err)
+	}
+}

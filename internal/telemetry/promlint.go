@@ -1,0 +1,326 @@
+package telemetry
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintProm validates data against the Prometheus text exposition format
+// 0.0.4 — the shared checker behind cmd/metricscheck and the telemetry
+// tests, so CI and the test suite agree on what a well-formed /metrics
+// payload is. It checks:
+//
+//   - line syntax: HELP/TYPE comments and `name{labels} value [ts]`
+//     samples, with legal metric/label names and escape sequences;
+//   - at most one TYPE per family, declared before the family's samples;
+//   - no duplicate series (same name and label set);
+//   - histogram shape: every `histogram` family has _bucket/_sum/_count,
+//     buckets are cumulative and non-decreasing in le order, an +Inf
+//     bucket exists and equals _count.
+//
+// A nil return means every Prometheus 2.x scraper will ingest the
+// payload.
+func LintProm(data []byte) error {
+	l := &promLinter{
+		typed:   map[string]string{},
+		sampled: map[string]bool{},
+		series:  map[string]int{},
+		hists:   map[string]*histCheck{},
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if err := l.line(line); err != nil {
+			return fmt.Errorf("line %d: %w", i+1, err)
+		}
+	}
+	return l.finish()
+}
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+)
+
+// histSeries is one (labelset minus le) of a histogram family.
+type histSeries struct {
+	buckets  []histBucket
+	sum      bool
+	count    bool
+	countVal float64
+}
+
+type histBucket struct {
+	le  float64
+	cum float64
+}
+
+type histCheck struct {
+	series map[string]*histSeries
+}
+
+type promLinter struct {
+	typed   map[string]string // family -> declared type
+	sampled map[string]bool   // family -> has samples (for TYPE-after check)
+	series  map[string]int    // name+labelset -> count (duplicate check)
+	hists   map[string]*histCheck
+}
+
+// baseFamily strips histogram/summary sample suffixes so _bucket/_sum/
+// _count rows attach to their declared family.
+func (l *promLinter) baseFamily(name string) string {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suf)
+		if base != name {
+			if t, ok := l.typed[base]; ok && (t == "histogram" || t == "summary") {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+func (l *promLinter) line(line string) error {
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	if strings.HasPrefix(line, "#") {
+		return l.comment(line)
+	}
+	return l.sample(line)
+}
+
+func (l *promLinter) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 2 {
+		return nil // bare comment, ignored by scrapers
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 3 {
+			return fmt.Errorf("HELP without a metric name")
+		}
+		if !metricNameRe.MatchString(fields[2]) {
+			return fmt.Errorf("HELP for invalid metric name %q", fields[2])
+		}
+	case "TYPE":
+		if len(fields) < 4 {
+			return fmt.Errorf("TYPE needs a metric name and a type")
+		}
+		name, typ := fields[2], strings.TrimSpace(fields[3])
+		if !metricNameRe.MatchString(name) {
+			return fmt.Errorf("TYPE for invalid metric name %q", name)
+		}
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q for %q", typ, name)
+		}
+		if _, dup := l.typed[name]; dup {
+			return fmt.Errorf("second TYPE line for %q", name)
+		}
+		if l.sampled[name] {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		l.typed[name] = typ
+		if typ == "histogram" {
+			l.hists[name] = &histCheck{series: map[string]*histSeries{}}
+		}
+	}
+	return nil
+}
+
+// parseLabels consumes a {...} label block, returning the label pairs
+// and the rest of the line after the closing brace.
+func parseLabels(s string) (labels []Label, rest string, err error) {
+	i := 1 // past '{'
+	for {
+		// Allow a trailing comma before '}' (legal in the format).
+		for i < len(s) && (s[i] == ',' || s[i] == ' ') {
+			i++
+		}
+		if i < len(s) && s[i] == '}' {
+			return labels, s[i+1:], nil
+		}
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return nil, "", fmt.Errorf("label without '='")
+		}
+		name := s[i : i+j]
+		if !labelNameRe.MatchString(name) {
+			return nil, "", fmt.Errorf("invalid label name %q", name)
+		}
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, "", fmt.Errorf("label %q value not quoted", name)
+		}
+		i++
+		var val strings.Builder
+		for {
+			if i >= len(s) {
+				return nil, "", fmt.Errorf("unterminated label value for %q", name)
+			}
+			c := s[i]
+			if c == '"' {
+				i++
+				break
+			}
+			if c == '\\' {
+				if i+1 >= len(s) {
+					return nil, "", fmt.Errorf("dangling escape in label %q", name)
+				}
+				switch s[i+1] {
+				case '\\', '"':
+					val.WriteByte(s[i+1])
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					return nil, "", fmt.Errorf("invalid escape \\%c in label %q", s[i+1], name)
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		labels = append(labels, Label{name, val.String()})
+	}
+}
+
+func (l *promLinter) sample(line string) error {
+	// Split metric name from labels/value.
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return fmt.Errorf("sample %q has no value", line)
+	}
+	name := line[:nameEnd]
+	if !metricNameRe.MatchString(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	var labels []Label
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		var err error
+		labels, rest, err = parseLabels(rest)
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("%s: want `value [timestamp]`, got %q", name, strings.TrimSpace(rest))
+	}
+	val, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return fmt.Errorf("%s: unparseable value %q", name, fields[0])
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("%s: unparseable timestamp %q", name, fields[1])
+		}
+	}
+
+	fam := l.baseFamily(name)
+	l.sampled[fam] = true
+	l.sampled[name] = true
+
+	// Duplicate-series detection on the full (name, sorted labels) key.
+	sorted := sortLabels(labels)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i].Key == sorted[i-1].Key {
+			return fmt.Errorf("%s: duplicate label %q", name, sorted[i].Key)
+		}
+	}
+	key := name + "\x00" + labelKey(sorted)
+	l.series[key]++
+	if l.series[key] > 1 {
+		return fmt.Errorf("duplicate series %s%s", name, renderLabels(sorted))
+	}
+
+	// Histogram bookkeeping.
+	if hc, ok := l.hists[fam]; ok && fam != name {
+		var le string
+		var rem []Label
+		for _, lab := range sorted {
+			if lab.Key == "le" {
+				le = lab.Value
+			} else {
+				rem = append(rem, lab)
+			}
+		}
+		hs, ok := hc.series[labelKey(rem)]
+		if !ok {
+			hs = &histSeries{}
+			hc.series[labelKey(rem)] = hs
+		}
+		switch {
+		case strings.HasSuffix(name, "_bucket"):
+			if le == "" {
+				return fmt.Errorf("%s: histogram bucket without le label", name)
+			}
+			bound, err := strconv.ParseFloat(le, 64)
+			if err != nil && le != "+Inf" {
+				return fmt.Errorf("%s: unparseable le %q", name, le)
+			}
+			if le == "+Inf" {
+				bound = inf()
+			}
+			hs.buckets = append(hs.buckets, histBucket{le: bound, cum: val})
+		case strings.HasSuffix(name, "_sum"):
+			hs.sum = true
+		case strings.HasSuffix(name, "_count"):
+			hs.count = true
+			hs.countVal = val
+		}
+	}
+	return nil
+}
+
+func inf() float64 {
+	v, _ := strconv.ParseFloat("+Inf", 64)
+	return v
+}
+
+func (l *promLinter) finish() error {
+	// Deterministic error order for tests.
+	fams := make([]string, 0, len(l.hists))
+	for f := range l.hists {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		hc := l.hists[fam]
+		if !l.sampled[fam+"_bucket"] && !l.sampled[fam+"_sum"] && !l.sampled[fam+"_count"] {
+			continue // declared but never sampled: legal
+		}
+		for lk, hs := range hc.series {
+			where := fam
+			if lk != "" {
+				where = fmt.Sprintf("%s{%s}", fam, strings.TrimSuffix(lk, ","))
+			}
+			if len(hs.buckets) == 0 {
+				return fmt.Errorf("histogram %s has no _bucket series", where)
+			}
+			if !hs.sum || !hs.count {
+				return fmt.Errorf("histogram %s lacks _sum or _count", where)
+			}
+			last := hs.buckets[len(hs.buckets)-1]
+			if last.le != inf() {
+				return fmt.Errorf("histogram %s lacks an le=\"+Inf\" bucket", where)
+			}
+			for i := 1; i < len(hs.buckets); i++ {
+				if hs.buckets[i].le <= hs.buckets[i-1].le {
+					return fmt.Errorf("histogram %s: le boundaries not increasing", where)
+				}
+				if hs.buckets[i].cum < hs.buckets[i-1].cum {
+					return fmt.Errorf("histogram %s: buckets not cumulative at le=%g", where, hs.buckets[i].le)
+				}
+			}
+			if last.cum != hs.countVal {
+				return fmt.Errorf("histogram %s: +Inf bucket %g != _count %g", where, last.cum, hs.countVal)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,182 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+
+	"pacifier/internal/sim"
+)
+
+// swapRegistry installs r as the process-global registry for the test's
+// duration, restoring the previous one afterward.
+func swapRegistry(t *testing.T, r *Registry) {
+	t.Helper()
+	prev := Default()
+	setDefault(r)
+	t.Cleanup(func() { setDefault(prev) })
+}
+
+// TestNilMetricsAreNoOps pins the disabled-path contract: every method
+// on nil metrics and a nil registry is a safe no-op.
+func TestNilMetricsAreNoOps(t *testing.T) {
+	var c *Counter
+	c.Add(5)
+	c.Inc()
+	if c.Value() != 0 {
+		t.Error("nil counter has a value")
+	}
+	var g *Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 0 {
+		t.Error("nil gauge has a value")
+	}
+	var h *Histogram
+	h.Observe(42)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram has samples")
+	}
+	var r *Registry
+	if r.Counter("x", "") != nil || r.Gauge("x", "") != nil || r.Histogram("x", "") != nil {
+		t.Error("nil registry returned non-nil metrics")
+	}
+	if err := r.WriteProm(nil); err != nil {
+		t.Errorf("nil registry WriteProm: %v", err)
+	}
+}
+
+// TestDisabledPathAllocatesNothing is the AllocsPerRun guard behind the
+// zero-cost claim: while telemetry is disabled, resolving unlabeled
+// metrics and emitting into nil handles must not allocate. (Labeled
+// resolution allocates the variadic slice; instrumentation therefore
+// resolves labeled handles once at construction, never per emit.)
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	swapRegistry(t, nil)
+	var c *Counter
+	var h *Histogram
+	if n := testing.AllocsPerRun(1000, func() {
+		c = C("pacifier_test_disabled_total", "help")
+		h = H("pacifier_test_disabled_hist", "help")
+		c.Add(1)
+		c.Inc()
+		h.Observe(17)
+	}); n != 0 {
+		t.Errorf("disabled telemetry path allocates %.1f/op, want 0", n)
+	}
+	_ = c
+	_ = h
+}
+
+// TestRegistryBasics covers create-once semantics and value plumbing.
+func TestRegistryBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "Jobs.")
+	c.Add(2)
+	c.Inc()
+	if got := r.Counter("jobs_total", "Jobs.").Value(); got != 3 {
+		t.Errorf("counter = %d, want 3 (same instance on re-lookup)", got)
+	}
+	g := r.Gauge("depth", "Depth.")
+	g.Set(10)
+	g.Add(-4)
+	if g.Value() != 6 {
+		t.Errorf("gauge = %d, want 6", g.Value())
+	}
+	h := r.Histogram("lat", "Latency.")
+	for _, v := range []int64{0, 1, 2, 3, 100, -5} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Errorf("hist count = %d, want 6", h.Count())
+	}
+	if h.Sum() != 106 { // negative clamps to 0
+		t.Errorf("hist sum = %d, want 106", h.Sum())
+	}
+	a := r.Counter("modal_total", "x", Label{Key: "mode", Value: "gra"})
+	b := r.Counter("modal_total", "x", Label{Key: "mode", Value: "vol"})
+	if a == b {
+		t.Error("distinct label values share a series")
+	}
+	a.Add(1)
+	if r.Counter("modal_total", "x", Label{Key: "mode", Value: "gra"}).Value() != 1 {
+		t.Error("labeled series not stable across lookups")
+	}
+}
+
+// TestKindClashPanics: one name, two kinds is a programming error.
+func TestKindClashPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on counter/gauge kind clash")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	r.Gauge("x_total", "")
+}
+
+// TestBucketingMatchesSim pins the log2 bucket layout to internal/sim's:
+// the paper-facing snapshots and the live histograms must agree on
+// bucket boundaries.
+func TestBucketingMatchesSim(t *testing.T) {
+	for _, v := range []int64{-3, 0, 1, 2, 3, 4, 7, 8, 1023, 1024, 1 << 40, 1<<62 + 9} {
+		if got, want := bucketIndex(v), sim.BucketIndex(v); got != want {
+			t.Errorf("bucketIndex(%d) = %d, sim.BucketIndex = %d", v, got, want)
+		}
+	}
+	if bucketHigh(0) != 0 || bucketHigh(1) != 1 || bucketHigh(4) != 15 {
+		t.Errorf("bucketHigh boundaries wrong: %d %d %d",
+			bucketHigh(0), bucketHigh(1), bucketHigh(4))
+	}
+	if bucketHigh(63) != 1<<63-1 || bucketHigh(70) != 1<<63-1 {
+		t.Error("top bucket not capped at max int64")
+	}
+}
+
+// TestEnableIdempotent: Enable always returns the same registry, and C/G/H
+// resolve against it once enabled.
+func TestEnableIdempotent(t *testing.T) {
+	swapRegistry(t, nil)
+	if Default() != nil {
+		t.Fatal("default registry non-nil before Enable")
+	}
+	if C("pre_enable_total", "x") != nil {
+		t.Fatal("C returned a live counter while disabled")
+	}
+	r1 := Enable()
+	r2 := Enable()
+	if r1 == nil || r1 != r2 {
+		t.Fatalf("Enable not idempotent: %p vs %p", r1, r2)
+	}
+	C("post_enable_total", "x").Add(9)
+	if got := r1.Counter("post_enable_total", "x").Value(); got != 9 {
+		t.Errorf("global counter = %d, want 9", got)
+	}
+}
+
+// TestConcurrentUpdates hammers one family from many goroutines; run
+// under -race this is the registry's concurrency contract, and the
+// final counts pin atomicity.
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("hits_total", "x").Inc()
+				r.Histogram("lat", "x").Observe(int64(i))
+				r.Gauge("depth", "x").Set(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits_total", "x").Value(); got != workers*perWorker {
+		t.Errorf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("lat", "x").Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
