@@ -1,0 +1,247 @@
+package dist
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"time"
+
+	"pacifier/internal/harness"
+	"pacifier/internal/telemetry"
+)
+
+// ErrSweepFailed marks a distributed sweep in which at least one job
+// failed terminally. Test with errors.Is; the per-job errors ride in
+// the Outcomes.
+var ErrSweepFailed = errors.New("dist: sweep had failed jobs")
+
+// Client is the thin sweep client: it submits specs to a coordinator,
+// tails the fleet SSE stream for live progress, and collects the
+// finished result set as harness Outcomes — so the emitters, summary
+// and exit-code logic downstream of a sweep are identical for local
+// and distributed runs.
+type Client struct {
+	// Base is the coordinator's base URL.
+	Base string
+	// Logger, if non-nil, receives one line per job-state transition
+	// from the coordinator's SSE stream.
+	Logger *slog.Logger
+	// HTTP overrides the transport (nil = a 30s-timeout client).
+	HTTP *http.Client
+	// Poll is the sweep-status poll interval (0 = 500ms).
+	Poll time.Duration
+}
+
+func (c *Client) client() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// Submit enqueues specs and returns the coordinator's sweep handle.
+func (c *Client) Submit(ctx context.Context, specs []harness.JobSpec) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := c.post(ctx, "/api/dist/submit", SubmitRequest{Specs: specs}, &resp)
+	return resp, err
+}
+
+// Status fetches a sweep's progress (withResults attaches finished
+// Results — ask only on the final fetch; result sets are large).
+func (c *Client) Status(ctx context.Context, sweepID int64, withResults bool) (SweepStatus, error) {
+	url := fmt.Sprintf("%s/api/dist/sweep?id=%d", strings.TrimRight(c.Base, "/"), sweepID)
+	if withResults {
+		url += "&results=1"
+	}
+	var st SweepStatus
+	err := c.getJSON(ctx, url, &st)
+	return st, err
+}
+
+// DistStatus fetches the coordinator's worker/queue snapshot.
+func (c *Client) DistStatus(ctx context.Context) (*telemetry.DistSnapshot, error) {
+	var s telemetry.DistSnapshot
+	err := c.getJSON(ctx, strings.TrimRight(c.Base, "/")+"/api/dist/status", &s)
+	return &s, err
+}
+
+// Run is the whole distributed sweep from the submitting side: submit
+// the specs, stream progress until every job is terminal, fetch the
+// results, and map them back onto the submitted specs as one Outcome
+// per spec in spec order — the same contract as harness.Run. A
+// cancelled ctx interrupts the wait: finished jobs keep their results
+// and unfinished ones come back wrapping harness.ErrInterrupted, so a
+// ^C on a distributed sweep flushes exactly like a local one.
+func (c *Client) Run(ctx context.Context, specs []harness.JobSpec) ([]harness.Outcome, error) {
+	sub, err := c.Submit(ctx, specs)
+	if err != nil {
+		return nil, err
+	}
+	if c.Logger != nil {
+		c.Logger.Info("distributed sweep submitted", "coordinator", c.Base,
+			"sweep", sub.SweepID, "jobs", sub.Total, "cached", sub.Cached, "deduped", sub.Deduped)
+	}
+
+	// Tail the SSE fleet stream purely for progress logging; the
+	// authoritative completion signal is the status poll below.
+	wanted := make(map[string]bool, len(specs))
+	for _, s := range specs {
+		wanted[s.Hash()] = true
+	}
+	sseCtx, stopSSE := context.WithCancel(ctx)
+	defer stopSSE()
+	if c.Logger != nil {
+		go c.tailFleet(sseCtx, wanted)
+	}
+
+	poll := c.Poll
+	if poll <= 0 {
+		poll = 500 * time.Millisecond
+	}
+	var st SweepStatus
+	for {
+		st, err = c.Status(ctx, sub.SweepID, false)
+		if err != nil {
+			if ctx.Err() != nil {
+				return c.interrupted(specs, st), ctx.Err()
+			}
+			return nil, err
+		}
+		if st.Done {
+			break
+		}
+		if !sleepCtx(ctx, poll) {
+			st, _ = c.Status(context.Background(), sub.SweepID, true)
+			return c.outcomes(specs, st), nil
+		}
+	}
+	st, err = c.Status(ctx, sub.SweepID, true)
+	if err != nil {
+		return nil, err
+	}
+	outcomes := c.outcomes(specs, st)
+	if st.Failed > 0 {
+		return outcomes, fmt.Errorf("%w: %d of %d", ErrSweepFailed, st.Failed, st.Total)
+	}
+	return outcomes, nil
+}
+
+// outcomes maps a sweep status back onto the submitted specs, one
+// Outcome per spec in submission order.
+func (c *Client) outcomes(specs []harness.JobSpec, st SweepStatus) []harness.Outcome {
+	byHash := make(map[string]JobStatus, len(st.Jobs))
+	for _, j := range st.Jobs {
+		byHash[j.Hash] = j
+	}
+	outs := make([]harness.Outcome, len(specs))
+	for i, spec := range specs {
+		hash := spec.Hash()
+		o := harness.Outcome{Spec: spec, Hash: hash}
+		j, ok := byHash[hash]
+		switch {
+		case !ok || j.State == JobPending || j.State == JobLeased:
+			o.Err = fmt.Errorf("%w: %s", harness.ErrInterrupted, spec.Label())
+		case j.State == JobFailed:
+			o.Err = fmt.Errorf("dist: job %s failed on a worker: %s", spec.Label(), j.Error)
+		default:
+			o.Result = j.Result
+			o.Cached = j.Cached
+			o.Wall = time.Duration(j.WallMS) * time.Millisecond
+		}
+		outs[i] = o
+	}
+	return outs
+}
+
+// interrupted builds all-interrupted outcomes when the wait died
+// before any status arrived.
+func (c *Client) interrupted(specs []harness.JobSpec, st SweepStatus) []harness.Outcome {
+	if len(st.Jobs) > 0 {
+		return c.outcomes(specs, st)
+	}
+	outs := make([]harness.Outcome, len(specs))
+	for i, spec := range specs {
+		outs[i] = harness.Outcome{Spec: spec, Hash: spec.Hash(),
+			Err: fmt.Errorf("%w: %s", harness.ErrInterrupted, spec.Label())}
+	}
+	return outs
+}
+
+// tailFleet follows the coordinator's /api/fleet/stream SSE feed and
+// logs transitions for the hashes this sweep cares about. Best-effort:
+// any error just ends the tail — progress is cosmetic, completion is
+// polled.
+func (c *Client) tailFleet(ctx context.Context, wanted map[string]bool) {
+	url := strings.TrimRight(c.Base, "/") + "/api/fleet/stream"
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return
+	}
+	// The stream is long-lived: no client timeout.
+	resp, err := (&http.Client{}).Do(req)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var u telemetry.JobUpdate
+		if json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &u) != nil {
+			continue
+		}
+		if !wanted[u.Hash] || u.State == telemetry.StateQueued {
+			continue
+		}
+		c.Logger.Info("dist job update", "job", u.Label, "state", string(u.State), "wall_ms", u.WallMS)
+	}
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	blob, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(c.Base, "/")+path, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+func (c *Client) getJSON(ctx context.Context, url string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dist: %s: %s: %s", req.URL.Path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,413 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"pacifier/internal/harness"
+	"pacifier/internal/telemetry"
+	"pacifier/internal/telemetry/telhttp"
+)
+
+// testSpecs is a small real fleet: litmus tests plus one small app,
+// with replay verification on — cheap enough to simulate for real in
+// tests, representative enough to exercise the full Result schema.
+func testSpecs() []harness.JobSpec {
+	var specs []harness.JobSpec
+	for _, l := range []string{"sb", "mp", "wrc", "iriw"} {
+		specs = append(specs, harness.JobSpec{
+			Kind: "litmus", Name: l, Seed: 1, Atomic: true,
+			Modes: []string{"karma", "gra"}, Replay: true,
+		})
+	}
+	specs = append(specs, harness.JobSpec{
+		Kind: "app", Name: "fft", Cores: 4, Ops: 200, Seed: 1,
+		Atomic: true, Modes: []string{"karma", "vol", "gra"}, Replay: true,
+	})
+	return specs
+}
+
+// testCluster is one in-process coordinator with its HTTP surface.
+type testCluster struct {
+	coord  *Coordinator
+	cache  *harness.Cache
+	server *httptest.Server
+}
+
+func startCluster(t *testing.T, leaseTTL time.Duration, maxAttempts int) *testCluster {
+	t.Helper()
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := telemetry.NewFleet()
+	coord := NewCoordinator(CoordinatorOptions{
+		Cache: cache, Fleet: fleet, LeaseTTL: leaseTTL, MaxAttempts: maxAttempts,
+	})
+	srv := telhttp.NewServer(nil, fleet)
+	srv.Handle("/api/dist/", coord.Handler())
+	srv.SetDist(coord.DistSnapshot)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return &testCluster{coord: coord, cache: cache, server: ts}
+}
+
+// startWorker launches a worker goroutine against the cluster and
+// returns its cancel function.
+func (c *testCluster) startWorker(t *testing.T, name string, run func(harness.JobSpec) (*harness.Result, error)) context.CancelFunc {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		_ = RunWorker(ctx, WorkerOptions{
+			Coordinator: c.server.URL,
+			Name:        name,
+			Poll:        10 * time.Millisecond,
+			RunJob:      run,
+		})
+	}()
+	t.Cleanup(cancel)
+	return cancel
+}
+
+// TestDistributedSweepMatchesSingleProcess is the subsystem's
+// load-bearing test: the same specs swept through a coordinator and
+// two worker processes must encode to exactly the bytes a
+// single-process harness run produces.
+func TestDistributedSweepMatchesSingleProcess(t *testing.T) {
+	specs := testSpecs()
+	cluster := startCluster(t, 30*time.Second, 3)
+	cluster.startWorker(t, "w1", nil)
+	cluster.startWorker(t, "w2", nil)
+
+	client := &Client{Base: cluster.server.URL, Poll: 20 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	outcomes, err := client.Run(ctx, specs)
+	if err != nil {
+		t.Fatalf("distributed sweep: %v", err)
+	}
+	for i, o := range outcomes {
+		if o.Err != nil {
+			t.Fatalf("job %s failed: %v", o.Spec.Label(), o.Err)
+		}
+		if o.Hash != specs[i].Hash() {
+			t.Fatalf("outcome %d is not in spec order", i)
+		}
+	}
+
+	local := harness.Run(specs, harness.Options{Workers: 2})
+	for _, o := range local {
+		if o.Err != nil {
+			t.Fatalf("local job %s failed: %v", o.Spec.Label(), o.Err)
+		}
+	}
+	distBytes, err := harness.EncodeCanonical(harness.Results(outcomes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localBytes, err := harness.EncodeCanonical(harness.Results(local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(distBytes, localBytes) {
+		t.Fatalf("distributed sweep diverged from single-process sweep:\ndist %d bytes, local %d bytes",
+			len(distBytes), len(localBytes))
+	}
+
+	// Every result must be in the shared store: that is what makes the
+	// sweep resumable.
+	for _, s := range specs {
+		if _, ok := cluster.cache.Get(s.Hash()); !ok {
+			t.Fatalf("result for %s missing from the shared cache", s.Label())
+		}
+	}
+
+	// The control plane must report the distributed fleet: /api/fleet
+	// carries the coordinator's per-worker dist section.
+	resp, err := cluster.server.Client().Get(cluster.server.URL + "/api/fleet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var snap telemetry.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Dist == nil {
+		t.Fatal("/api/fleet has no dist section on a coordinator")
+	}
+	if snap.Dist.Done != len(specs) || len(snap.Dist.Workers) != 2 {
+		t.Fatalf("dist section wrong: %+v", snap.Dist)
+	}
+}
+
+// TestLeaseExpiryReassignsExactlyOnce kills a worker mid-job and
+// asserts the lease protocol's whole contract: the job is re-leased
+// exactly once, the result lands in the shared cache, and the final
+// sweep output is byte-identical to a single-process run.
+func TestLeaseExpiryReassignsExactlyOnce(t *testing.T) {
+	spec := harness.JobSpec{
+		Kind: "litmus", Name: "sb", Seed: 1, Atomic: true,
+		Modes: []string{"karma", "gra"}, Replay: true,
+	}
+	specs := []harness.JobSpec{spec}
+	cluster := startCluster(t, time.Second, 3)
+
+	// Worker A leases the job and then hangs until it is killed: a
+	// crash mid-execution.
+	leased := make(chan struct{})
+	hang := make(chan struct{})
+	var leasedOnce sync.Once
+	killA := cluster.startWorker(t, "doomed", func(s harness.JobSpec) (*harness.Result, error) {
+		leasedOnce.Do(func() { close(leased) })
+		<-hang
+		return nil, context.Canceled
+	})
+
+	client := &Client{Base: cluster.server.URL, Poll: 20 * time.Millisecond}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	sub, err := client.Submit(ctx, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case <-leased:
+	case <-time.After(10 * time.Second):
+		t.Fatal("worker A never leased the job")
+	}
+	// Kill worker A: its heartbeats stop, so its lease expires and the
+	// job goes back to pending.
+	killA()
+	close(hang)
+
+	// Worker B joins after the crash and picks the job up for real.
+	cluster.startWorker(t, "rescuer", nil)
+
+	deadline := time.Now().Add(30 * time.Second)
+	var st SweepStatus
+	for {
+		st, err = client.Status(ctx, sub.SweepID, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Done {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("sweep never completed after worker death: %+v", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	if st.Failed != 0 || st.Doneok != 1 {
+		t.Fatalf("sweep finished wrong: %+v", st)
+	}
+	job := st.Jobs[0]
+	if job.Reassigned != 1 {
+		t.Fatalf("job was reassigned %d times, want exactly 1", job.Reassigned)
+	}
+	if job.Attempts != 2 {
+		t.Fatalf("job took %d lease attempts, want 2 (doomed + rescuer)", job.Attempts)
+	}
+	if _, ok := cluster.cache.Get(spec.Hash()); !ok {
+		t.Fatal("reassigned job's result missing from the shared cache")
+	}
+
+	// The rescued sweep's output must still be byte-identical to a
+	// single-process run of the same spec.
+	st, err = client.Status(ctx, sub.SweepID, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distBytes, err := harness.EncodeCanonical([]*harness.Result{st.Jobs[0].Result})
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := harness.Run(specs, harness.Options{Workers: 1})
+	localBytes, err := harness.EncodeCanonical(harness.Results(local))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(distBytes, localBytes) {
+		t.Fatal("rescued sweep output diverged from single-process run")
+	}
+}
+
+// TestStaleCompletionIsRejected pins the no-duplicate-execution
+// observable: once a job is reassigned and finished by another worker,
+// the original holder's late completion is refused, so the cache only
+// ever sees the current lease's result.
+func TestStaleCompletionIsRejected(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorOptions{Cache: cache, LeaseTTL: 50 * time.Millisecond, MaxAttempts: 5})
+	spec := harness.JobSpec{Kind: "litmus", Name: "mp", Seed: 1, Atomic: true, Modes: []string{"gra"}}
+	coord.Submit([]harness.JobSpec{spec})
+
+	a := coord.Register("a")
+	leaseA := coord.Lease(a.WorkerID)
+	if leaseA.Job == nil {
+		t.Fatal("worker a got no job")
+	}
+	// Let a's lease expire, then hand the job to b.
+	time.Sleep(80 * time.Millisecond)
+	b := coord.Register("b")
+	leaseB := coord.Lease(b.WorkerID)
+	if leaseB.Job == nil {
+		t.Fatal("job was not re-leased to worker b after expiry")
+	}
+	if leaseB.Job.Attempt != 2 {
+		t.Fatalf("re-lease attempt = %d, want 2", leaseB.Job.Attempt)
+	}
+
+	res, err := harness.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a's zombie completion must bounce; b's must land.
+	stale := coord.Complete(CompleteRequest{WorkerID: a.WorkerID, LeaseID: leaseA.Job.LeaseID, Hash: leaseA.Job.Hash, Result: res})
+	if !stale.Stale || stale.Accepted {
+		t.Fatalf("zombie completion not rejected: %+v", stale)
+	}
+	good := coord.Complete(CompleteRequest{WorkerID: b.WorkerID, LeaseID: leaseB.Job.LeaseID, Hash: leaseB.Job.Hash, Result: res})
+	if good.Stale || !good.Accepted {
+		t.Fatalf("current completion rejected: %+v", good)
+	}
+	if _, ok := cache.Get(spec.Hash()); !ok {
+		t.Fatal("completed result missing from cache")
+	}
+}
+
+// TestSubmitDedupesAgainstQueueAndCache pins the idempotency-key
+// contract: resubmitting a finished sweep is served entirely from the
+// result store, and resubmitting a queued sweep creates no second job.
+func TestSubmitDedupesAgainstQueueAndCache(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorOptions{Cache: cache})
+	spec := harness.JobSpec{Kind: "litmus", Name: "sb", Seed: 7, Atomic: true, Modes: []string{"gra"}}
+
+	first := coord.Submit([]harness.JobSpec{spec})
+	if first.Cached != 0 || first.Deduped != 0 {
+		t.Fatalf("fresh submit: %+v", first)
+	}
+	// Same spec again while queued: deduped, not duplicated.
+	second := coord.Submit([]harness.JobSpec{spec})
+	if second.Deduped != 1 {
+		t.Fatalf("queued resubmit not deduped: %+v", second)
+	}
+	snap := coord.DistSnapshot()
+	if snap.Pending != 1 {
+		t.Fatalf("dedupe created extra jobs: %+v", snap)
+	}
+
+	// Complete it, then resubmit on a fresh coordinator sharing the
+	// store: the resume path must serve it without queueing anything.
+	w := coord.Register("w")
+	lease := coord.Lease(w.WorkerID)
+	res, err := harness.Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Complete(CompleteRequest{WorkerID: w.WorkerID, LeaseID: lease.Job.LeaseID, Hash: lease.Job.Hash, Result: res})
+
+	resumed := NewCoordinator(CoordinatorOptions{Cache: cache})
+	third := resumed.Submit([]harness.JobSpec{spec})
+	if third.Cached != 1 {
+		t.Fatalf("restart resubmit not served from the store: %+v", third)
+	}
+	st, ok := resumed.SweepStatus(third.SweepID, true)
+	if !ok || !st.Done || st.Doneok != 1 || !st.Jobs[0].Cached {
+		t.Fatalf("resumed sweep not immediately done: %+v", st)
+	}
+	if st.Jobs[0].Result == nil || st.Jobs[0].Result.SpecHash != spec.Hash() {
+		t.Fatal("resumed sweep result missing or wrong")
+	}
+}
+
+// TestReadyzGatedOnLiveWorkers pins the coordinator readiness
+// contract: /readyz is 503 until a live worker is registered, and the
+// plain SetReady behaviour is untouched when no check is installed.
+func TestReadyzGatedOnLiveWorkers(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorOptions{Cache: cache, LeaseTTL: time.Minute})
+	srv := telhttp.NewServer(nil, nil)
+	srv.SetReadyCheck(func() bool { return coord.LiveWorkers() > 0 })
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	get := func() int {
+		resp, err := ts.Client().Get(ts.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(); code != 503 {
+		t.Fatalf("readyz with no workers = %d, want 503", code)
+	}
+	coord.Register("w1")
+	if code := get(); code != 200 {
+		t.Fatalf("readyz with a live worker = %d, want 200", code)
+	}
+
+	// Standalone server (no check installed): default-ready unchanged.
+	plain := httptest.NewServer(telhttp.NewServer(nil, nil))
+	defer plain.Close()
+	resp, err := plain.Client().Get(plain.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("standalone readyz = %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestLeaseExhaustionFailsJob pins the give-up path: a job whose
+// leases keep expiring fails terminally after MaxAttempts instead of
+// looping forever.
+func TestLeaseExhaustionFailsJob(t *testing.T) {
+	cache, err := harness.OpenCache(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := NewCoordinator(CoordinatorOptions{Cache: cache, LeaseTTL: 10 * time.Millisecond, MaxAttempts: 2})
+	spec := harness.JobSpec{Kind: "litmus", Name: "iriw", Seed: 1, Atomic: true, Modes: []string{"gra"}}
+	sub := coord.Submit([]harness.JobSpec{spec})
+	w := coord.Register("flaky")
+
+	for i := 0; i < 2; i++ {
+		lease := coord.Lease(w.WorkerID)
+		if lease.Job == nil {
+			t.Fatalf("lease %d not granted", i+1)
+		}
+		time.Sleep(25 * time.Millisecond) // let it expire, never complete
+	}
+	// The next lease request reaps the exhausted job.
+	if extra := coord.Lease(w.WorkerID); extra.Job != nil {
+		t.Fatalf("exhausted job leased a third time: %+v", extra.Job)
+	}
+	st, _ := coord.SweepStatus(sub.SweepID, false)
+	if !st.Done || st.Failed != 1 {
+		t.Fatalf("exhausted job not failed terminally: %+v", st)
+	}
+	if st.Jobs[0].Error == "" {
+		t.Fatal("exhausted job has no error text")
+	}
+}

@@ -1,0 +1,163 @@
+// Package dist is the distributed sweep fleet: a coordinator/worker
+// subsystem that shards harness job specs to worker processes over
+// HTTP/JSON with lease-based fault tolerance.
+//
+// The coordinator owns the job queue. Work is deduplicated by the
+// harness spec content-hash — the same key the `.pacifier-cache/`
+// result store uses — so a spec submitted twice (by two sweeps, or by
+// a sweep resumed after a crash) is one job, and a spec whose result
+// is already in the store never runs at all. Jobs are handed out under
+// time-bounded leases: a worker that stops heartbeating loses its
+// leases, and the coordinator hands the jobs to the next worker that
+// asks. Because results are deterministic and content-addressed, a
+// re-executed job writes the same bytes the lost worker would have,
+// so crashes cost wall time but never correctness.
+//
+// Workers pull: they register, heartbeat, lease one job at a time,
+// execute it through the internal/harness runner (keeping its
+// panic/timeout isolation), and stream the Result back. The sweep
+// client is thin: it submits specs, tails the coordinator's SSE fleet
+// stream for progress, and collects the finished result set, which is
+// byte-identical to a single-process harness run of the same specs.
+package dist
+
+import (
+	"pacifier/internal/harness"
+)
+
+// Wire protocol version, checked on register so a worker from an
+// incompatible build fails fast instead of mis-executing jobs.
+const ProtoVersion = 1
+
+// Default coordinator tuning. Leases renew on every heartbeat, so the
+// lease TTL bounds how long a dead worker can sit on a job, not how
+// long a job may run.
+const (
+	DefaultLeaseTTL    = 15 // seconds
+	DefaultMaxAttempts = 3
+)
+
+// RegisterRequest announces a worker to the coordinator.
+type RegisterRequest struct {
+	ProtoVersion int    `json:"proto_version"`
+	Name         string `json:"name"`
+}
+
+// RegisterResponse assigns the worker its identity and cadence.
+type RegisterResponse struct {
+	WorkerID int64 `json:"worker_id"`
+	// LeaseTTLMS is how long a lease survives without renewal.
+	LeaseTTLMS int64 `json:"lease_ttl_ms"`
+	// HeartbeatMS is the interval the worker should heartbeat at
+	// (a fraction of the lease TTL).
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest renews the worker's liveness and every lease it
+// currently holds.
+type HeartbeatRequest struct {
+	WorkerID int64 `json:"worker_id"`
+}
+
+// HeartbeatResponse tells the worker whether the coordinator still
+// knows it; Known=false (e.g. after a coordinator restart) means the
+// worker must re-register.
+type HeartbeatResponse struct {
+	Known bool `json:"known"`
+}
+
+// LeaseRequest asks for one job.
+type LeaseRequest struct {
+	WorkerID int64 `json:"worker_id"`
+}
+
+// LeasedJob is one unit of granted work.
+type LeasedJob struct {
+	Spec    harness.JobSpec `json:"spec"`
+	Hash    string          `json:"hash"`
+	LeaseID int64           `json:"lease_id"`
+	// TTLMS is the lease's remaining lifetime at grant; heartbeats renew it.
+	TTLMS int64 `json:"ttl_ms"`
+	// Attempt counts grants of this job, 1-based; >1 means a prior
+	// worker lost its lease.
+	Attempt int `json:"attempt"`
+}
+
+// LeaseResponse carries a job, or a poll-again hint when the queue is
+// empty.
+type LeaseResponse struct {
+	Job    *LeasedJob `json:"job,omitempty"`
+	WaitMS int64      `json:"wait_ms,omitempty"`
+}
+
+// CompleteRequest reports a finished job. Exactly one of Result and
+// Error is set.
+type CompleteRequest struct {
+	WorkerID int64           `json:"worker_id"`
+	LeaseID  int64           `json:"lease_id"`
+	Hash     string          `json:"hash"`
+	Result   *harness.Result `json:"result,omitempty"`
+	Error    string          `json:"error,omitempty"`
+	WallMS   int64           `json:"wall_ms"`
+}
+
+// CompleteResponse acknowledges a completion. Stale means the lease
+// was no longer current — the job was reassigned or already finished —
+// and the payload was discarded (harmless: results are deterministic
+// and content-addressed).
+type CompleteResponse struct {
+	Accepted bool `json:"accepted"`
+	Stale    bool `json:"stale"`
+}
+
+// SubmitRequest enqueues a sweep's specs.
+type SubmitRequest struct {
+	Specs []harness.JobSpec `json:"specs"`
+}
+
+// SubmitResponse identifies the sweep and reports how much of it was
+// already satisfied at submit time.
+type SubmitResponse struct {
+	SweepID int64 `json:"sweep_id"`
+	Total   int   `json:"total"`
+	// Cached jobs were served from the result store without running.
+	Cached int `json:"cached"`
+	// Deduped jobs were already queued or running for another sweep.
+	Deduped int `json:"deduped"`
+}
+
+// Job lifecycle states as reported by SweepStatus.
+const (
+	JobPending = "pending"
+	JobLeased  = "leased"
+	JobDone    = "done"
+	JobFailed  = "failed"
+)
+
+// JobStatus is one job's view within a sweep status report.
+type JobStatus struct {
+	Hash       string `json:"hash"`
+	Label      string `json:"label"`
+	State      string `json:"state"`
+	Cached     bool   `json:"cached"`
+	Attempts   int    `json:"attempts"`
+	Reassigned int    `json:"reassigned"`
+	WallMS     int64  `json:"wall_ms,omitempty"`
+	Error      string `json:"error,omitempty"`
+	// Result is populated only when the status was requested with
+	// results included.
+	Result *harness.Result `json:"result,omitempty"`
+}
+
+// SweepStatus is the coordinator's answer to a sweep poll. Done is
+// true once every job is terminal (done or failed).
+type SweepStatus struct {
+	SweepID int64       `json:"sweep_id"`
+	Done    bool        `json:"done"`
+	Total   int         `json:"total"`
+	Pending int         `json:"pending"`
+	Leased  int         `json:"leased"`
+	Doneok  int         `json:"done_ok"`
+	Failed  int         `json:"failed"`
+	Jobs    []JobStatus `json:"jobs"`
+}

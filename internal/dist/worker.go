@@ -1,0 +1,269 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"pacifier/internal/harness"
+)
+
+// WorkerOptions configures one worker process.
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (e.g.
+	// "http://10.0.0.1:9090").
+	Coordinator string
+	// Name identifies the worker in the coordinator's fleet view.
+	Name string
+	// Cache, if non-nil, is the worker's local result store: leased
+	// jobs whose results it already holds are answered without
+	// simulating (useful when workers share a filesystem with the
+	// coordinator), and fresh results are stored before being sent.
+	Cache *harness.Cache
+	// Timeout bounds each job's wall time (0 = no limit). Enforced by
+	// the harness runner, exactly as in a local sweep.
+	Timeout time.Duration
+	// Poll is the idle poll interval floor (0 = 250ms); the
+	// coordinator's wait hints can lengthen it.
+	Poll time.Duration
+	// Logger, if non-nil, gets one line per job and per fault.
+	Logger *slog.Logger
+
+	// RunJob overrides job execution (tests and fault injection only;
+	// nil = the harness default).
+	RunJob func(harness.JobSpec) (*harness.Result, error)
+}
+
+// worker is the client-side state: coordinator identity plus the HTTP
+// plumbing. The identity is mutable because a restarted coordinator
+// forgets its workers, and the heartbeat loop re-registers.
+type worker struct {
+	opts WorkerOptions
+	hc   *http.Client
+
+	mu       sync.Mutex
+	workerID int64
+	hbEvery  time.Duration
+}
+
+// RunWorker joins the coordinator and processes jobs until ctx is
+// cancelled: register, heartbeat in the background, then
+// lease/execute/report in a loop. Execution goes through the
+// internal/harness runner, so a panicking or overrunning job is
+// contained and reported as that job's failure, never the worker's.
+// The returned error is ctx.Err() on a clean shutdown.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.Coordinator == "" {
+		return errors.New("dist: worker needs a coordinator address")
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 250 * time.Millisecond
+	}
+	w := &worker{opts: opts, hc: &http.Client{Timeout: 30 * time.Second}}
+	if err := w.register(ctx); err != nil {
+		return err
+	}
+
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go w.heartbeatLoop(hbCtx)
+
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var lease LeaseResponse
+		if err := w.post(ctx, "/api/dist/lease", LeaseRequest{WorkerID: w.id()}, &lease); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			w.logf("dist lease request failed; retrying", "err", err)
+			if !sleepCtx(ctx, opts.Poll) {
+				return ctx.Err()
+			}
+			continue
+		}
+		if lease.Job == nil {
+			wait := opts.Poll
+			if hint := time.Duration(lease.WaitMS) * time.Millisecond; hint > wait {
+				wait = hint
+			}
+			if !sleepCtx(ctx, wait) {
+				return ctx.Err()
+			}
+			continue
+		}
+		w.execute(ctx, lease.Job)
+	}
+}
+
+func (w *worker) id() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.workerID
+}
+
+func (w *worker) logf(msg string, args ...any) {
+	if w.opts.Logger != nil {
+		w.opts.Logger.Info(msg, args...)
+	}
+}
+
+// register joins the coordinator, retrying while it is unreachable
+// (workers may start before the coordinator binds its port).
+func (w *worker) register(ctx context.Context) error {
+	req := RegisterRequest{ProtoVersion: ProtoVersion, Name: w.opts.Name}
+	for attempt := 0; ; attempt++ {
+		var resp RegisterResponse
+		err := w.post(ctx, "/api/dist/register", req, &resp)
+		if err == nil {
+			w.mu.Lock()
+			w.workerID = resp.WorkerID
+			if resp.HeartbeatMS > 0 {
+				w.hbEvery = time.Duration(resp.HeartbeatMS) * time.Millisecond
+			}
+			w.mu.Unlock()
+			w.logf("dist worker joined", "coordinator", w.opts.Coordinator,
+				"worker", resp.WorkerID, "lease_ttl_ms", resp.LeaseTTLMS)
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if attempt >= 30 {
+			return fmt.Errorf("dist: cannot reach coordinator %s: %w", w.opts.Coordinator, err)
+		}
+		if !sleepCtx(ctx, time.Second) {
+			return ctx.Err()
+		}
+	}
+}
+
+// heartbeatLoop renews the worker's liveness (and thereby every lease
+// it holds) at the cadence the coordinator asked for.
+func (w *worker) heartbeatLoop(ctx context.Context) {
+	w.mu.Lock()
+	every := w.hbEvery
+	w.mu.Unlock()
+	if every <= 0 {
+		every = 5 * time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		var resp HeartbeatResponse
+		if err := w.post(ctx, "/api/dist/heartbeat", HeartbeatRequest{WorkerID: w.id()}, &resp); err != nil {
+			if ctx.Err() == nil {
+				w.logf("dist heartbeat failed", "err", err)
+			}
+			continue
+		}
+		if !resp.Known {
+			// Coordinator restarted and forgot us: rejoin under a fresh
+			// identity. Any in-flight lease will be stalely rejected,
+			// which is safe.
+			w.logf("dist coordinator forgot this worker; re-registering")
+			_ = w.register(ctx)
+		}
+	}
+}
+
+// execute runs one leased job through the harness runner and reports
+// the outcome. Harness-level isolation means a panic or timeout
+// becomes a CompleteRequest.Error, and the worker lives on.
+func (w *worker) execute(ctx context.Context, job *LeasedJob) {
+	start := time.Now()
+	w.logf("dist job leased", "job", job.Spec.Label(), "hash", job.Hash[:12], "attempt", job.Attempt)
+	outcomes := harness.Run([]harness.JobSpec{job.Spec}, harness.Options{
+		Workers: 1,
+		Timeout: w.opts.Timeout,
+		Cache:   w.opts.Cache,
+		Run:     w.opts.RunJob,
+	})
+	o := outcomes[0]
+	req := CompleteRequest{
+		WorkerID: w.id(),
+		LeaseID:  job.LeaseID,
+		Hash:     job.Hash,
+		WallMS:   time.Since(start).Milliseconds(),
+	}
+	if o.Err != nil {
+		req.Error = o.Err.Error()
+	} else {
+		req.Result = o.Result
+	}
+
+	// Retry the completion a few times: losing it would waste the
+	// whole simulation to a transient network blip.
+	var resp CompleteResponse
+	for attempt := 0; ; attempt++ {
+		if err := w.post(ctx, "/api/dist/complete", req, &resp); err == nil {
+			break
+		} else if ctx.Err() != nil || attempt >= 4 {
+			w.logf("dist completion lost", "job", job.Spec.Label(), "err", err)
+			return
+		}
+		if !sleepCtx(ctx, 500*time.Millisecond) {
+			return
+		}
+	}
+	switch {
+	case resp.Stale:
+		w.logf("dist completion was stale (job reassigned)", "job", job.Spec.Label())
+	case o.Err != nil:
+		w.logf("dist job failed", "job", job.Spec.Label(), "err", o.Err)
+	default:
+		w.logf("dist job done", "job", job.Spec.Label(),
+			"wall", time.Since(start).Round(time.Millisecond).String())
+	}
+}
+
+// post is the worker's JSON round-trip helper.
+func (w *worker) post(ctx context.Context, path string, in, out any) error {
+	blob, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	url := strings.TrimRight(w.opts.Coordinator, "/") + path
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(blob))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dist: %s: %s: %s", path, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// sleepCtx sleeps for d unless ctx ends first; reports whether the
+// sleep completed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

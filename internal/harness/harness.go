@@ -207,8 +207,10 @@ type Options struct {
 	// of a plain text logger built over Progress.
 	Logger *slog.Logger
 
-	// run overrides job execution (tests only; nil = Execute).
-	run func(JobSpec) (*Result, error)
+	// Run overrides job execution (nil = Execute, or ExecuteTraced when
+	// TraceDir is set). Tests and the distributed worker's fault
+	// injection hook use it; everything else should leave it nil.
+	Run func(JobSpec) (*Result, error)
 }
 
 // Run executes every spec on a worker pool and returns one Outcome per
@@ -223,7 +225,7 @@ func Run(specs []JobSpec, opts Options) []Outcome {
 	if workers > len(specs) && len(specs) > 0 {
 		workers = len(specs)
 	}
-	runJob := opts.run
+	runJob := opts.Run
 	if runJob == nil {
 		if dir := opts.TraceDir; dir != "" {
 			runJob = func(s JobSpec) (*Result, error) { return ExecuteTraced(s, dir) }
@@ -406,6 +408,14 @@ type Summary struct {
 	CacheHits   int   `json:"cache_hits"`
 	CacheMisses int   `json:"cache_misses"`
 	WallMS      int64 `json:"wall_ms"` // summed per-job wall time
+	// CacheHitRate is hits over completed (hits + misses) jobs. It is
+	// defined as 0 — never NaN — when the sweep was interrupted before
+	// any job completed, so the JSONL summary record stays valid JSON.
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	// DistWorkers is the number of worker processes a distributed
+	// sweep ran across (0 for single-process sweeps; set by the CLI
+	// from the coordinator's status).
+	DistWorkers int `json:"dist_workers,omitempty"`
 }
 
 // Summarize reduces a sweep's outcomes to its Summary. Interrupted jobs
@@ -429,6 +439,11 @@ func Summarize(outcomes []Outcome) Summary {
 			s.CacheMisses++
 		}
 	}
+	// Guard the 0/0 path: a sweep cancelled before any job finishes
+	// has no completed jobs to take a rate over.
+	if completed := s.CacheHits + s.CacheMisses; completed > 0 {
+		s.CacheHitRate = float64(s.CacheHits) / float64(completed)
+	}
 	return s
 }
 
@@ -438,6 +453,9 @@ func (s Summary) String() string {
 		s.Total, s.Succeeded, s.Failed, s.CacheHits, s.CacheMisses)
 	if s.Interrupted > 0 {
 		line += fmt.Sprintf(", %d interrupted", s.Interrupted)
+	}
+	if s.DistWorkers > 0 {
+		line += fmt.Sprintf(", %d workers", s.DistWorkers)
 	}
 	return line
 }

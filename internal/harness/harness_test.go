@@ -143,11 +143,11 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 	}
 
 	// Miss, then hit with identical payload.
-	first := Run([]JobSpec{spec}, Options{Workers: 1, Cache: cache, run: runCounted})
+	first := Run([]JobSpec{spec}, Options{Workers: 1, Cache: cache, Run: runCounted})
 	if first[0].Err != nil || first[0].Cached {
 		t.Fatalf("first run: err=%v cached=%v", first[0].Err, first[0].Cached)
 	}
-	second := Run([]JobSpec{spec}, Options{Workers: 1, Cache: cache, run: runCounted})
+	second := Run([]JobSpec{spec}, Options{Workers: 1, Cache: cache, Run: runCounted})
 	if second[0].Err != nil || !second[0].Cached {
 		t.Fatalf("second run: err=%v cached=%v", second[0].Err, second[0].Cached)
 	}
@@ -163,7 +163,7 @@ func TestCacheHitMissInvalidation(t *testing.T) {
 	// Any spec change is a different key: the changed job simulates.
 	changed := spec
 	changed.Ops++
-	third := Run([]JobSpec{changed}, Options{Workers: 1, Cache: cache, run: runCounted})
+	third := Run([]JobSpec{changed}, Options{Workers: 1, Cache: cache, Run: runCounted})
 	if third[0].Cached {
 		t.Fatal("changed spec must miss the cache")
 	}
@@ -216,7 +216,7 @@ func TestTimeoutFailsJobNotSweep(t *testing.T) {
 	outcomes := Run(specs, Options{
 		Workers: 3,
 		Timeout: 50 * time.Millisecond,
-		run: func(s JobSpec) (*Result, error) {
+		Run: func(s JobSpec) (*Result, error) {
 			if s.Name == "deadlocked" {
 				<-block
 			}
@@ -245,7 +245,7 @@ func TestPanicFailsJobNotSweep(t *testing.T) {
 	}
 	outcomes := Run(specs, Options{
 		Workers: 2,
-		run: func(s JobSpec) (*Result, error) {
+		Run: func(s JobSpec) (*Result, error) {
 			if s.Name == "bomb" {
 				panic("simulated deadlock detector tripped")
 			}
@@ -402,7 +402,7 @@ func TestProgressReporting(t *testing.T) {
 	specs := testSpecs()[:4]
 	var buf bytes.Buffer
 	Run(specs, Options{Workers: 2, Progress: &buf,
-		run: func(s JobSpec) (*Result, error) { return fakeResult(s), nil }})
+		Run: func(s JobSpec) (*Result, error) { return fakeResult(s), nil }})
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
 	if len(lines) != len(specs) {
 		t.Fatalf("got %d progress lines for %d jobs:\n%s", len(lines), len(specs), buf.String())
@@ -429,7 +429,7 @@ func TestInterruptFlushesCompletedJobs(t *testing.T) {
 	outcomes := Run(specs, Options{
 		Workers:   1,
 		Interrupt: interrupt,
-		run: func(s JobSpec) (*Result, error) {
+		Run: func(s JobSpec) (*Result, error) {
 			// Every job blocks until the interrupt fires, so the single
 			// worker is provably busy when it does: the dispatcher's
 			// select sees only the interrupt ready and stops — exactly
@@ -481,7 +481,7 @@ func TestSummarizeAndJSONL(t *testing.T) {
 	}
 	s := Summarize(outcomes)
 	want := Summary{Total: 4, Succeeded: 2, Failed: 1, Interrupted: 1,
-		CacheHits: 1, CacheMisses: 2, WallMS: 26}
+		CacheHits: 1, CacheMisses: 2, WallMS: 26, CacheHitRate: 1.0 / 3.0}
 	if s != want {
 		t.Errorf("Summarize = %+v, want %+v", s, want)
 	}

@@ -1,0 +1,37 @@
+package telemetry
+
+// DistWorkerView is one registered worker in a distributed-fleet
+// snapshot: its liveness, current leases, and lifetime job counts.
+type DistWorkerView struct {
+	ID   int64  `json:"id"`
+	Name string `json:"name"`
+	// Live reports whether the worker has heartbeated within its
+	// liveness window.
+	Live bool `json:"live"`
+	// HeartbeatAgeMS is the time since the worker's last heartbeat.
+	HeartbeatAgeMS int64 `json:"heartbeat_age_ms"`
+	// Leased is the number of jobs the worker currently holds.
+	Leased int `json:"leased"`
+	// LeaseAgeMS is the age of the worker's oldest active lease
+	// (0 when it holds none).
+	LeaseAgeMS int64 `json:"lease_age_ms,omitempty"`
+	Completed  int64 `json:"completed"`
+	Failed     int64 `json:"failed"`
+}
+
+// DistSnapshot is the distributed coordinator's contribution to the
+// /api/fleet document: per-worker state, queue depths, and the
+// fault-tolerance counters. It is built fresh on every snapshot, so it
+// never holds references into coordinator state.
+type DistSnapshot struct {
+	Workers     []DistWorkerView `json:"workers"`
+	LiveWorkers int              `json:"live_workers"`
+	Pending     int              `json:"pending"`
+	Leased      int              `json:"leased"`
+	Done        int              `json:"done"`
+	Failed      int              `json:"failed"`
+	// Reassignments counts expired leases whose jobs were handed to
+	// another worker.
+	Reassignments int64 `json:"reassignments"`
+	Sweeps        int   `json:"sweeps"`
+}
