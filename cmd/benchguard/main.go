@@ -9,9 +9,18 @@
 // granularity. Allocation counts are machine-independent and are always
 // compared.
 //
+// With -shard-overhead, benchguard additionally checks the candidate
+// report's sharded record case (pacifier bench -shards N) against the
+// serial record case in the same report — a same-machine, same-run
+// comparison, so timing is always meaningful. This is the CI tripwire
+// that keeps the parallel engine's single-shard configuration from
+// drifting away from the serial engine. -baseline may be omitted when
+// only this check is wanted.
+//
 // Usage:
 //
-//	benchguard -baseline BENCH_2026-08-06.json -candidate BENCH_ci.json -tolerance 0.02
+//	benchguard -baseline BENCH_2026-08-07.json -candidate BENCH_ci.json -tolerance 0.02
+//	benchguard -candidate BENCH_shards.json -shard-overhead 0.05
 package main
 
 import (
@@ -32,13 +41,15 @@ type benchCase struct {
 }
 
 type benchReport struct {
-	Date      string      `json:"date"`
-	GoVersion string      `json:"go"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	NumCPU    int         `json:"num_cpu"`
-	Workload  string      `json:"workload"`
-	Bench     []benchCase `json:"benchmarks"`
+	Date            string      `json:"date"`
+	GoVersion       string      `json:"go"`
+	GOOS            string      `json:"goos"`
+	GOARCH          string      `json:"goarch"`
+	NumCPU          int         `json:"num_cpu"`
+	Workload        string      `json:"workload"`
+	Shards          int         `json:"shards"`
+	SpeedupVsSerial float64     `json:"speedup_vs_serial,omitempty"`
+	Bench           []benchCase `json:"benchmarks"`
 }
 
 func load(path string) (*benchReport, error) {
@@ -65,22 +76,31 @@ func comparable(a, b *benchReport) bool {
 
 func main() {
 	var (
-		baseline  = flag.String("baseline", "", "baseline BENCH report")
+		baseline  = flag.String("baseline", "", "baseline BENCH report (optional with -shard-overhead)")
 		candidate = flag.String("candidate", "", "candidate BENCH report")
 		tolerance = flag.Float64("tolerance", 0.02, "allowed fractional regression (0.02 = 2%)")
 		forceTime = flag.Bool("force-time", false, "compare timing even across differing environments")
+		shardTol  = flag.Float64("shard-overhead", 0,
+			"allowed fractional slowdown of the candidate's sharded record case vs its serial one (0 = skip)")
 	)
 	flag.Parse()
-	if *baseline == "" || *candidate == "" {
-		fmt.Fprintln(os.Stderr, "benchguard: need -baseline and -candidate")
+	if *candidate == "" || (*baseline == "" && *shardTol <= 0) {
+		fmt.Fprintln(os.Stderr, "benchguard: need -candidate plus -baseline and/or -shard-overhead")
 		os.Exit(2)
 	}
-	base, err := load(*baseline)
+	cand, err := load(*candidate)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
 	}
-	cand, err := load(*candidate)
+
+	if *shardTol > 0 {
+		checkShardOverhead(cand, *shardTol)
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := load(*baseline)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
 		os.Exit(2)
@@ -130,6 +150,38 @@ func main() {
 	if len(tripped) > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.1f%% tolerance: %s\n",
 			*tolerance*100, strings.Join(tripped, ", "))
+		os.Exit(1)
+	}
+}
+
+// checkShardOverhead compares the report's sharded record case against
+// its serial record case (same run, same machine — timing is always
+// comparable) and fails when the sharded engine is more than tol slower.
+func checkShardOverhead(r *benchReport, tol float64) {
+	var serial, sharded *benchCase
+	for i := range r.Bench {
+		c := &r.Bench[i]
+		switch {
+		case c.Name == "RecordThroughput":
+			serial = c
+		case strings.HasPrefix(c.Name, "RecordThroughputShards"):
+			sharded = c
+		}
+	}
+	if serial == nil || sharded == nil || serial.NsPerOp <= 0 {
+		fmt.Fprintf(os.Stderr, "benchguard: -shard-overhead needs both RecordThroughput and RecordThroughputShards* cases in the candidate\n")
+		os.Exit(2)
+	}
+	rel := float64(sharded.NsPerOp-serial.NsPerOp) / float64(serial.NsPerOp)
+	verdict := "ok"
+	if rel > tol {
+		verdict = "FAIL"
+	}
+	fmt.Printf("benchguard: %-24s vs serial %12d -> %12d ns/op  %+6.2f%%  (limit %+.2f%%)  %s\n",
+		sharded.Name, serial.NsPerOp, sharded.NsPerOp, rel*100, tol*100, verdict)
+	if verdict == "FAIL" {
+		fmt.Fprintf(os.Stderr, "benchguard: sharded engine overhead %+.2f%% exceeds %.1f%% tolerance\n",
+			rel*100, tol*100)
 		os.Exit(1)
 	}
 }

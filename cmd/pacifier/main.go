@@ -83,6 +83,7 @@ func main() {
 		cores       = flag.Int("cores", 16, "number of cores (threads)")
 		ops         = flag.Int("ops", 2000, "memory operations per thread")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
+		shards      = flag.Int("shards", 0, "parallel simulation shards (0 = serial engine; results are identical)")
 		modeName    = flag.String("mode", "gra", "recorder: "+strings.Join(pacifier.ModeNames(), ", "))
 		nonatomic   = flag.Bool("nonatomic", false, "model non-atomic writes (PowerPC/ARM style)")
 		save        = flag.String("save", "", "write the encoded log to this file")
@@ -153,7 +154,7 @@ func main() {
 		tr = pacifier.NewTracer(w.Name)
 		flushTraceOnInterrupt(*traceFile, tr)
 	}
-	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic, Tracer: tr}, modes...)
+	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic, Tracer: tr, Shards: *shards}, modes...)
 	if err != nil {
 		fail("record: %v", err)
 	}
@@ -353,6 +354,7 @@ func sweep(args []string) {
 		coreArg   = fs.String("cores", "16,32,64", "machine sizes (comma list, app jobs only)")
 		ops       = fs.Int("ops", 2000, "memory operations per thread (>= 1)")
 		seed      = fs.Uint64("seed", 1, "simulation seed (>= 1)")
+		shards    = fs.Int("shards", 0, "parallel simulation shards per job (0 = serial engine; results are identical)")
 		modesArg  = fs.String("modes", "karma,vol,gra",
 			"recorder modes, co-recorded per job (valid: "+strings.Join(pacifier.ModeNames(), ", ")+")")
 		noReplay   = fs.Bool("no-replay", false, "record only, skip replay verification")
@@ -425,7 +427,7 @@ func sweep(args []string) {
 				specs = append(specs, harness.JobSpec{
 					Kind: "app", Name: a, Cores: n, Ops: *ops, Seed: *seed,
 					Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
-					CaptureMetrics: *metrics,
+					CaptureMetrics: *metrics, Shards: *shards,
 				})
 			}
 		}
@@ -441,7 +443,7 @@ func sweep(args []string) {
 		specs = append(specs, harness.JobSpec{
 			Kind: "litmus", Name: l, Seed: *seed,
 			Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
-			CaptureMetrics: *metrics,
+			CaptureMetrics: *metrics, Shards: *shards,
 		})
 	}
 	if len(specs) == 0 {
@@ -936,13 +938,20 @@ type benchCase struct {
 
 // benchReport is the BENCH_<date>.json schema.
 type benchReport struct {
-	Date      string      `json:"date"`
-	GoVersion string      `json:"go"`
-	GOOS      string      `json:"goos"`
-	GOARCH    string      `json:"goarch"`
-	NumCPU    int         `json:"num_cpu"`
-	Workload  string      `json:"workload"`
-	Bench     []benchCase `json:"benchmarks"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	Workload  string `json:"workload"`
+	// Shards is the -shards value the sharded record case ran with
+	// (0 = no sharded case measured).
+	Shards int `json:"shards"`
+	// SpeedupVsSerial is serial record ns/op over sharded record
+	// ns/op — > 1 means the parallel engine wins. Only present when a
+	// sharded case was measured; bounded by the host's CPU count.
+	SpeedupVsSerial float64     `json:"speedup_vs_serial,omitempty"`
+	Bench           []benchCase `json:"benchmarks"`
 }
 
 // bench measures record and replay throughput on one workload and emits
@@ -954,6 +963,7 @@ func bench(args []string) {
 		cores      = fs.Int("cores", 16, "number of cores (threads)")
 		ops        = fs.Int("ops", 1000, "memory operations per thread")
 		seed       = fs.Uint64("seed", 1, "simulation seed")
+		shards     = fs.Int("shards", 0, "also measure the parallel engine at this shard count (0 = serial only)")
 		out        = fs.String("o", "", "output file (default BENCH_<date>.json)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
@@ -983,6 +993,22 @@ func bench(args []string) {
 		}
 	})
 
+	// Optionally measure the same record on the parallel engine. The
+	// execution is bit-identical; only the wall clock may differ.
+	var recordSharded testing.BenchmarkResult
+	if *shards > 0 {
+		sopts := opts
+		sopts.Shards = *shards
+		recordSharded = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pacifier.Record(w, sopts, pacifier.Granule); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
 	run, err := pacifier.Record(w, opts, pacifier.Granule)
 	if err != nil {
 		fail("record: %v", err)
@@ -1006,10 +1032,18 @@ func bench(args []string) {
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
 		Workload:  fmt.Sprintf("%s/p%d ops=%d seed=%d", *app, *cores, *ops, *seed),
+		Shards:    *shards,
 		Bench: []benchCase{
 			caseFrom("RecordThroughput", record, memops),
 			caseFrom("ReplayThroughput", replay, replayed),
 		},
+	}
+	if *shards > 0 {
+		report.Bench = append(report.Bench,
+			caseFrom(fmt.Sprintf("RecordThroughputShards%d", *shards), recordSharded, memops))
+		if ns := recordSharded.NsPerOp(); ns > 0 {
+			report.SpeedupVsSerial = float64(record.NsPerOp()) / float64(ns)
+		}
 	}
 
 	path := *out
@@ -1025,8 +1059,12 @@ func bench(args []string) {
 		fail("%v", err)
 	}
 	for _, c := range report.Bench {
-		fmt.Printf("%-18s %12d ns/op %14.0f memops/s %8d allocs/op\n",
+		fmt.Printf("%-24s %12d ns/op %14.0f memops/s %8d allocs/op\n",
 			c.Name, c.NsPerOp, c.MemopsPerS, c.AllocsPerOp)
+	}
+	if report.SpeedupVsSerial > 0 {
+		fmt.Printf("speedup vs serial      %.2fx (shards=%d, %d cpus)\n",
+			report.SpeedupVsSerial, report.Shards, report.NumCPU)
 	}
 	fmt.Printf("report written     %s\n", path)
 	stopProfiles()

@@ -78,8 +78,9 @@ type homeLine struct {
 
 // home is one directory/L2 bank.
 type home struct {
-	sys *System
-	id  noc.NodeID
+	sys  *System
+	port *tilePort // this tile's execution context (see tilePort)
+	id   noc.NodeID
 
 	ids      map[cache.Line]int32
 	lines    []*homeLine
@@ -99,10 +100,11 @@ type home struct {
 
 func newHome(sys *System, id noc.NodeID) *home {
 	return &home{
-		sys: sys,
-		id:  id,
-		ids: make(map[cache.Line]int32),
-		l2:  cache.New(sys.cfg.L2),
+		sys:  sys,
+		port: &sys.ports[id],
+		id:   id,
+		ids:  make(map[cache.Line]int32),
+		l2:   cache.New(sys.cfg.L2),
 	}
 }
 
@@ -145,17 +147,17 @@ func (h *home) peek(l cache.Line) *homeLine {
 // image returns the line's backing data, allocating it on first use.
 func (h *home) image(s *homeLine) []uint64 {
 	if s.img == nil {
-		s.img = h.sys.newLineWords()
+		s.img = h.port.newLineWords()
 	}
 	return s.img
 }
 
 func (h *home) inc(cp **sim.Counter, name string) {
-	if h.sys.stats == nil {
+	if h.port.stats == nil {
 		return
 	}
 	if *cp == nil {
-		*cp = h.sys.stats.Counter(name)
+		*cp = h.port.stats.Counter(name)
 	}
 	(*cp).Value++
 }
@@ -240,7 +242,7 @@ func (h *home) onGetS(l cache.Line, req noc.NodeID, reqSN SN) {
 }
 
 func (h *home) serveGetS(s *homeLine, req noc.NodeID, reqSN SN) {
-	sys := h.sys
+	sys, p := h.sys, h.port
 	l := s.l
 	st := &s.st
 	if st.owner == int(req) {
@@ -255,7 +257,7 @@ func (h *home) serveGetS(s *homeLine, req noc.NodeID, reqSN SN) {
 		owner := noc.NodeID(st.owner)
 		st.sharers |= 1<<uint(st.owner) | 1<<uint(req)
 		st.owner = -1
-		ev := sys.getEvt()
+		ev := p.getEvt()
 		ev.kind, ev.to, ev.l, ev.from, ev.sn = kFwdGetS, owner, l, req, reqSN
 		sys.mesh.Send(h.id, owner, ctrlFlits, ev.fn)
 		return
@@ -271,17 +273,17 @@ func (h *home) serveGetS(s *homeLine, req noc.NodeID, reqSN SN) {
 	hasDep := st.lwValid && st.lw.PID != int(req)
 	if hasDep {
 		src = st.lw
-		snap = sys.obs.SnapshotSource(src.PID, src.SN)
-		sys.obs.OnLocalSource(src.PID, src.SN, true)
+		snap = p.obs.SnapshotSource(src.PID, src.SN)
+		p.obs.OnLocalSource(src.PID, src.SN, true)
 	}
-	val := sys.getBuf()
+	val := p.getBuf()
 	copy(val, h.image(s))
 	st.sharers |= 1 << uint(req)
-	ev := sys.getEvt()
+	ev := p.getEvt()
 	ev.kind, ev.to, ev.l, ev.val, ev.sn = kDataLat, req, l, val, reqSN
 	ev.f1, ev.ref1, ev.snap = hasDep, src, snap
 	ev.t, ev.hs = t, s
-	sys.eng.After(lat, ev.fn)
+	p.eng.After(lat, ev.fn)
 }
 
 // onGetM handles a write (or RMW) request.
@@ -295,7 +297,7 @@ func (h *home) onGetM(l cache.Line, req noc.NodeID, reqSN SN) {
 }
 
 func (h *home) serveGetM(s *homeLine, req noc.NodeID, reqSN SN) {
-	sys := h.sys
+	sys, p := h.sys, h.port
 	l := s.l
 	st := &s.st
 	writer := AccessRef{PID: int(req), SN: reqSN, IsWrite: true}
@@ -312,12 +314,12 @@ func (h *home) serveGetM(s *homeLine, req noc.NodeID, reqSN SN) {
 		st.sharers = 0
 		st.lw, st.lwValid = writer, true
 		st.lrValid = false
-		ev := sys.getEvt()
+		ev := p.getEvt()
 		ev.kind, ev.to, ev.l, ev.from, ev.sn = kFwdGetM, owner, l, req, reqSN
 		sys.mesh.Send(h.id, owner, ctrlFlits, ev.fn)
 		// Tell the requester how many invalidation acks to expect (zero
 		// beyond the owner's data message).
-		av := sys.getEvt()
+		av := p.getEvt()
 		av.kind, av.to, av.l, av.n = kAckCount, req, l, 0
 		sys.mesh.Send(h.id, req, ctrlFlits, av.fn)
 		return
@@ -326,19 +328,19 @@ func (h *home) serveGetM(s *homeLine, req noc.NodeID, reqSN SN) {
 	// except the requester.
 	h.begin(s, req, false, true)
 	lat := h.accessLat(l)
-	ev := sys.getEvt()
+	ev := p.getEvt()
 	deps := ev.deps[:0]
 	if st.lwValid && st.lw.PID != int(req) {
 		src := st.lw
-		snap := sys.obs.SnapshotSource(src.PID, src.SN)
-		sys.obs.OnLocalSource(src.PID, src.SN, true)
+		snap := p.obs.SnapshotSource(src.PID, src.SN)
+		p.obs.OnLocalSource(src.PID, src.SN, true)
 		deps = append(deps, Dependence{Kind: WAW, Src: src, Snap: snap, Line: l})
 	}
 	if st.lrValid && st.lr.PID != int(req) {
 		deps = append(deps, Dependence{Kind: WAR, Src: st.lr, Snap: st.lrSnap, Line: l})
 	}
 	st.lrValid = false // consumed by this write epoch
-	val := sys.getBuf()
+	val := p.getBuf()
 	copy(val, h.image(s))
 	targets := st.sharers &^ (1 << uint(req))
 	ackCount := popcount(targets)
@@ -350,12 +352,12 @@ func (h *home) serveGetM(s *homeLine, req noc.NodeID, reqSN SN) {
 		if targets&(1<<uint(pid)) == 0 {
 			continue
 		}
-		iv := sys.getEvt()
+		iv := p.getEvt()
 		iv.kind, iv.to, iv.l, iv.from, iv.sn = kInv, noc.NodeID(pid), l, req, reqSN
 		sys.mesh.Send(h.id, noc.NodeID(pid), ctrlFlits, iv.fn)
 	}
 	ev.kind, ev.to, ev.l, ev.val, ev.n, ev.deps = kDataMLat, req, l, val, ackCount, deps
-	sys.eng.After(lat, ev.fn)
+	p.eng.After(lat, ev.fn)
 }
 
 // onWB receives the owner's writeback copy during a Fwd_GetS
@@ -422,7 +424,7 @@ func (h *home) servePutM(s *homeLine, from noc.NodeID, data []uint64, dirty bool
 	}
 	// Stale PutM (ownership already moved): just ack; the data
 	// already traveled with the forward response.
-	ev := h.sys.getEvt()
+	ev := h.port.getEvt()
 	ev.kind, ev.to, ev.l = kPutAck, from, l
 	h.sys.mesh.Send(h.id, from, ctrlFlits, ev.fn)
 }

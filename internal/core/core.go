@@ -29,6 +29,10 @@ type Options struct {
 	// Tracer, when non-nil, receives record-side structured events
 	// from every layer of the machine and every attached recorder.
 	Tracer *obs.Tracer
+	// Shards > 0 runs the machine on the conservative parallel engine
+	// with that many shards (0 = classic serial engine). Results are
+	// bit-identical at every shard count.
+	Shards int
 }
 
 // DefaultOptions returns the evaluation configuration of Section 6.1.
@@ -77,6 +81,13 @@ func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, 
 	mcfg.Seed = opts.Seed
 	mcfg.Mem.Atomic = opts.Atomic
 	mcfg.Tracer = opts.Tracer
+	mcfg.Shards = opts.Shards
+	if opts.Shards > 0 {
+		// The sharded machine defers observer calls to window barriers,
+		// so pending-window queries (which steer the protocol) are
+		// answered from a live mirror with the recorders' CBF sizing.
+		mcfg.LivePW = record.NewPWMirror(n, record.DefaultConfig(n, modes[0]).PWSize)
+	}
 
 	// Build the machine first to get the shared engine, then the
 	// recorders, then attach the observer. machine.New needs the
@@ -93,7 +104,7 @@ func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, 
 			rcfg.MaxChunkOps = opts.MaxChunkOps
 		}
 		rcfg.Tracer = opts.Tracer
-		recs[i] = record.NewRecorder(rcfg, m.Eng, m.Stats)
+		recs[i] = record.NewRecorder(rcfg, m.Clock(), m.Stats)
 	}
 	fo.recs = recs
 	fo.snaps = make(map[int64][]coherence.SrcSnap)

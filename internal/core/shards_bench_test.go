@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"pacifier/internal/record"
+	"pacifier/internal/trace"
+)
+
+// benchRecordShards measures one full record (machine build + run +
+// recorders) of a barrier-dense 8-core fft at the given shard count
+// (0 = serial engine). RecordShards1 vs RecordSerial is the parallel
+// engine's constant overhead — benchguard holds it under 5% in CI.
+func benchRecordShards(b *testing.B, shards int) {
+	p, _ := trace.ProfileByName("fft")
+	w := p.Generate(8, 200, 1)
+	opts := DefaultOptions()
+	opts.Shards = shards
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Record(w, opts, record.ModeGranule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRecordSerial(b *testing.B)  { benchRecordShards(b, 0) }
+func BenchmarkRecordShards1(b *testing.B) { benchRecordShards(b, 1) }
+func BenchmarkRecordShards2(b *testing.B) { benchRecordShards(b, 2) }
+
+// BenchmarkRecordWideShards4 is the speedup configuration: 64 cores on
+// 4 shards with few trace barriers, so each window carries real work.
+// On a multi-core host the four shard goroutines run concurrently; on
+// one CPU this measures the full parallel overhead instead.
+func BenchmarkRecordWideShards4(b *testing.B) {
+	p, _ := trace.ProfileByName("radiosity")
+	w := p.Generate(64, 300, 1)
+	opts := DefaultOptions()
+	opts.Shards = 4
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Record(w, opts, record.ModeGranule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pacifier/internal/obs"
+	"pacifier/internal/record"
+	"pacifier/internal/relog"
+	"pacifier/internal/trace"
+)
+
+// recordShards records the same workload with the given shard count
+// (0 = serial engine).
+func recordShards(t *testing.T, w *trace.Workload, seed uint64, shards int,
+	tr *obs.Tracer, modes ...record.Mode) *RunResult {
+	t.Helper()
+	opts := DefaultOptions()
+	opts.Seed = seed
+	opts.Shards = shards
+	opts.Tracer = tr
+	rr, err := Record(w, opts, modes...)
+	if err != nil {
+		t.Fatalf("shards=%d: %v", shards, err)
+	}
+	return rr
+}
+
+// assertRunsIdentical demands the two runs are observably the same
+// execution: cycle count, op count, every functional record, every
+// recording's encoded bytes, and the stats registry.
+func assertRunsIdentical(t *testing.T, label string, serial, sharded *RunResult) {
+	t.Helper()
+	if serial.NativeCycles != sharded.NativeCycles {
+		t.Errorf("%s: cycles %d != serial %d", label, sharded.NativeCycles, serial.NativeCycles)
+	}
+	if serial.MemOps != sharded.MemOps {
+		t.Errorf("%s: memops %d != serial %d", label, sharded.MemOps, serial.MemOps)
+	}
+	for pid := range serial.Records {
+		a, b := serial.Records[pid], sharded.Records[pid]
+		if len(a) != len(b) {
+			t.Errorf("%s: core %d has %d records, serial %d", label, pid, len(b), len(a))
+			continue
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: core %d record %d: %+v != serial %+v", label, pid, i, b[i], a[i])
+				break
+			}
+		}
+	}
+	for i, sr := range serial.Recordings {
+		pr := sharded.Recordings[i]
+		sb, pb := relog.EncodeLog(sr.Log), relog.EncodeLog(pr.Log)
+		if !bytes.Equal(sb, pb) {
+			t.Errorf("%s: mode %v log bytes differ (%d vs %d bytes)", label, sr.Mode, len(pb), len(sb))
+		}
+		// Chunk SN assignment must be untouched by sharding: same chunk
+		// ids, same SN spans, in the same order.
+		for pid := 0; pid < serial.Cores; pid++ {
+			sc, pc := sr.Log.Chunks(pid), pr.Log.Chunks(pid)
+			if len(sc) != len(pc) {
+				t.Errorf("%s: mode %v core %d chunk count %d != serial %d", label, sr.Mode, pid, len(pc), len(sc))
+				continue
+			}
+			for j := range sc {
+				if sc[j].CID != pc[j].CID || sc[j].StartSN != pc[j].StartSN || sc[j].EndSN != pc[j].EndSN {
+					t.Errorf("%s: mode %v core %d chunk %d differs: (cid %d sn %d end %d) != serial (cid %d sn %d end %d)",
+						label, sr.Mode, pid, j, pc[j].CID, pc[j].StartSN, pc[j].EndSN, sc[j].CID, sc[j].StartSN, sc[j].EndSN)
+					break
+				}
+			}
+		}
+	}
+	if s, p := serial.Stats.String(), sharded.Stats.String(); s != p {
+		t.Errorf("%s: stats snapshots differ:\n--- serial ---\n%s\n--- sharded ---\n%s", label, s, p)
+	}
+}
+
+// TestShardedParityFixture is the full determinism fixture: every
+// SPLASH-2-like profile under two seeds (the same 20 configurations the
+// harness fixture sweeps), recorded serially and at shard counts 1, 2,
+// 4, and 3 (4 cores: a count that does not divide the tiles evenly).
+// Every run must be observably identical to the serial engine.
+func TestShardedParityFixture(t *testing.T) {
+	shardCounts := []int{1, 2, 3, 4}
+	if testing.Short() {
+		shardCounts = []int{2, 3}
+	}
+	for _, p := range trace.Profiles() {
+		for _, seed := range []uint64{11, 12} {
+			w := p.Generate(4, 300, seed)
+			serial := recordShards(t, w, seed, 0, nil, record.ModeGranule)
+			for _, sh := range shardCounts {
+				sharded := recordShards(t, w, seed, sh, nil, record.ModeGranule)
+				assertRunsIdentical(t, fmt.Sprintf("%s/seed=%d/shards=%d", p.Name, seed, sh),
+					serial, sharded)
+			}
+		}
+	}
+}
+
+// TestShardedParityLitmus covers the racy litmus workloads (SCVs, store
+// buffering) and simultaneous multi-mode recording: Karma and Granule
+// must both be bit-identical, chunk numbering included.
+func TestShardedParityLitmus(t *testing.T) {
+	for _, mk := range []func() *trace.Workload{
+		trace.StoreBuffering, trace.MessagePassing, trace.WRC, trace.IRIW, trace.MPFenced,
+	} {
+		w := mk()
+		for seed := uint64(1); seed <= 5; seed++ {
+			serial := recordShards(t, w, seed, 0, nil, record.ModeKarma, record.ModeGranule)
+			for _, sh := range []int{1, 2} {
+				sharded := recordShards(t, mk(), seed, sh, nil, record.ModeKarma, record.ModeGranule)
+				assertRunsIdentical(t, fmt.Sprintf("%s/seed=%d/shards=%d", w.Name, seed, sh),
+					serial, sharded)
+			}
+		}
+	}
+}
+
+// TestShardedParityTraces runs with a structured-event tracer attached
+// and demands the sharded machine emit the exact serial event stream —
+// the deferred tracer captures must replay in serial order.
+func TestShardedParityTraces(t *testing.T) {
+	for _, name := range []string{"fft", "radiosity"} {
+		p, _ := trace.ProfileByName(name)
+		w := p.Generate(4, 300, 9)
+		serialTr := obs.New("record")
+		serial := recordShards(t, w, 9, 0, serialTr, record.ModeGranule)
+		for _, sh := range []int{2, 3} {
+			shTr := obs.New("record")
+			sharded := recordShards(t, w, 9, sh, shTr, record.ModeGranule)
+			assertRunsIdentical(t, fmt.Sprintf("%s/traced/shards=%d", name, sh), serial, sharded)
+			se, pe := serialTr.Events(), shTr.Events()
+			if len(se) != len(pe) {
+				t.Errorf("%s/shards=%d: %d trace events, serial %d", name, sh, len(pe), len(se))
+				continue
+			}
+			for i := range se {
+				if se[i] != pe[i] {
+					t.Errorf("%s/shards=%d: trace event %d differs: %+v != serial %+v",
+						name, sh, i, pe[i], se[i])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestShardedRecordingReplays closes the loop: a log recorded on the
+// parallel machine must replay deterministically, exactly like a serial
+// recording.
+func TestShardedRecordingReplays(t *testing.T) {
+	p, _ := trace.ProfileByName("radiosity")
+	w := p.Generate(4, 400, 11)
+	rr := recordShards(t, w, 11, 4, nil, record.ModeGranule)
+	assertDeterministic(t, rr, record.ModeGranule, "sharded-radiosity")
+	if err := VerifyRoundTrip(rr, record.ModeGranule); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedBarrierHeavy stresses the deferred barrier-release
+// protocol: a barrier-dense profile on more cores than shards, where
+// shards repeatedly park and resolve releases at window horizons.
+func TestShardedBarrierHeavy(t *testing.T) {
+	p, _ := trace.ProfileByName("fft")
+	w := p.Generate(8, 300, 5)
+	serial := recordShards(t, w, 5, 0, nil, record.ModeGranule)
+	for _, sh := range []int{2, 3, 5, 8} {
+		sharded := recordShards(t, w, 5, sh, nil, record.ModeGranule)
+		assertRunsIdentical(t, fmt.Sprintf("fft8/shards=%d", sh), serial, sharded)
+	}
+}

@@ -86,7 +86,7 @@ type Core struct {
 	l1   *coherence.L1
 	obs  Observer
 	rng  *sim.RNG
-	hub  *BarrierHub
+	hub  Barrier
 	prog trace.Thread
 
 	pc     int
@@ -149,7 +149,7 @@ func (c *Core) Instrument(stats *sim.Stats, tr *obs.Tracer) {
 
 // NewCore builds a core. rng must be a dedicated stream for this core.
 func NewCore(pid int, cfg Config, eng *sim.Engine, l1 *coherence.L1,
-	prog trace.Thread, hub *BarrierHub, obs Observer, rng *sim.RNG) *Core {
+	prog trace.Thread, hub Barrier, obs Observer, rng *sim.RNG) *Core {
 	if obs == nil {
 		obs = NopObserver{}
 	}

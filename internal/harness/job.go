@@ -88,6 +88,7 @@ func executeWith(spec JobSpec, tr *obs.Tracer, traceDir string) (*Result, error)
 	copts.Seed = spec.Seed
 	copts.Atomic = spec.Atomic
 	copts.Tracer = tr
+	copts.Shards = spec.Shards
 	if spec.MaxChunkOps > 0 {
 		copts.MaxChunkOps = spec.MaxChunkOps
 	}

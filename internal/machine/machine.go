@@ -48,6 +48,17 @@ type Config struct {
 	// layer (NoC, coherence, cores). Nil = tracing off: the hot paths
 	// pay exactly one pointer compare each.
 	Tracer *obs.Tracer
+	// Shards selects parallel execution: the machine's tiles are
+	// partitioned into this many shards, each stepped by its own
+	// goroutine under the conservative lookahead protocol (see
+	// machine_sharded.go). 0 keeps the classic serial engine; 1 runs
+	// the sharded machinery on a single shard (the apples-to-apples
+	// baseline for the parallel overhead).
+	Shards int
+	// LivePW supplies live pending-window answers for the sharded
+	// machine (see PWProbe). Ignored in serial mode; nil means every
+	// query answers "no performed load" (matching NopObserver).
+	LivePW PWProbe
 }
 
 // DefaultConfig returns the Table 4 machine for n cores.
@@ -64,14 +75,25 @@ func DefaultConfig(n int) Config {
 // Machine is one assembled simulation instance.
 type Machine struct {
 	Cfg   Config
-	Eng   *sim.Engine
+	Eng   *sim.Engine // serial engine; nil when sharded
 	Stats *sim.Stats
 	Mesh  *noc.Mesh
 	Sys   *coherence.System
 	Cores []*cpu.Core
-	Hub   *cpu.BarrierHub
+	Hub   *cpu.BarrierHub // serial hub; nil when sharded
 
+	shard    *shardState // nil in serial mode
 	workload *trace.Workload
+}
+
+// Clock returns the simulated-time source observers and recorders must
+// read: the engine in serial mode, or the replay clock that tracks the
+// serial-order position of deferred observer calls in sharded mode.
+func (m *Machine) Clock() sim.Clock {
+	if m.shard != nil {
+		return m.shard.clockSrc
+	}
+	return m.Eng
 }
 
 // New builds a machine executing workload w, reporting to obs (nil for
@@ -86,6 +108,9 @@ func New(cfg Config, w *trace.Workload, obs Observer) (*Machine, error) {
 	}
 	if obs == nil {
 		obs = NopObserver{}
+	}
+	if cfg.Shards > 0 {
+		return newSharded(cfg, w, obs)
 	}
 	eng := sim.NewEngine()
 	stats := sim.NewStats()
@@ -128,7 +153,13 @@ func (m *Machine) Done() bool {
 // Run executes until completion or limit cycles, returning an error on
 // timeout (deadlock or livelock in the workload or protocol).
 func (m *Machine) Run(limit sim.Cycle) error {
-	if m.Eng.RunUntil(m.Done, limit) {
+	ok := false
+	if m.shard != nil {
+		ok = m.shard.run(limit)
+	} else {
+		ok = m.Eng.RunUntil(m.Done, limit)
+	}
+	if ok {
 		return nil
 	}
 	states := ""
@@ -142,7 +173,12 @@ func (m *Machine) Run(limit sim.Cycle) error {
 }
 
 // Cycles returns the elapsed simulated time.
-func (m *Machine) Cycles() sim.Cycle { return m.Eng.Now() }
+func (m *Machine) Cycles() sim.Cycle {
+	if m.shard != nil {
+		return m.shard.group.Final()
+	}
+	return m.Eng.Now()
+}
 
 // Records returns core pid's functional execution outcomes.
 func (m *Machine) Records(pid int) []cpu.ExecRecord { return m.Cores[pid].Records() }

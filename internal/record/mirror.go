@@ -1,0 +1,83 @@
+package record
+
+import (
+	"pacifier/internal/cache"
+	"pacifier/internal/coherence"
+	"pacifier/internal/trace"
+)
+
+// PWMirror is the sharded machine's live stand-in for the Recorder's
+// pending windows. In sharded execution, observer calls into the real
+// Recorder are deferred to window barriers — but QueryPWForLine is the
+// one observer call whose RESULT steers the coherence protocol (an
+// invalidation's kLogOld-vs-kRelease response, Section 3.2), so it
+// cannot wait. The mirror applies exactly the PW mutations the Recorder
+// would (Dispatch, value bind, perform+drain, hold, release+drain) as
+// they happen, shard-locally, and answers queries identically.
+//
+// Every mutating call here is made by the owning core's shard (dispatch,
+// load value and perform come from the core; hold and release arrive in
+// invalidation handlers at the core's L1, which shares its tile), so the
+// mirror needs no locking.
+//
+// The mirror deliberately ignores Recorder state that never influences
+// FindPerformedLoad or Drain: isSource/MRPS bookkeeping, mustLog marks,
+// chunk and LHB state.
+type PWMirror struct {
+	pws []*PendingWindow
+}
+
+// NewPWMirror builds per-core windows with the same CBF sizing as the
+// Recorder's (Config.PWSize), so query results — including CBF
+// false-positive behavior — are bit-identical.
+func NewPWMirror(cores, pwSize int) *PWMirror {
+	m := &PWMirror{pws: make([]*PendingWindow, cores)}
+	for i := range m.pws {
+		m.pws[i] = NewPendingWindow(pwSize)
+	}
+	return m
+}
+
+// OnDispatch mirrors Recorder.OnDispatch.
+func (m *PWMirror) OnDispatch(pid int, sn SN, kind trace.OpKind, addr coherence.Addr) {
+	m.pws[pid].Dispatch(sn, kind, addr, cache.Line(uint64(addr)>>5))
+}
+
+// OnLoadValue mirrors Recorder.OnLoadValue.
+func (m *PWMirror) OnLoadValue(pid int, sn SN, val uint64) {
+	if e := m.pws[pid].Get(sn); e != nil {
+		e.value = val
+	}
+}
+
+// OnPerformed mirrors the PW-visible half of Recorder.OnPerformed.
+func (m *PWMirror) OnPerformed(pid int, sn SN) {
+	if e := m.pws[pid].Get(sn); e != nil {
+		e.performed = true
+	}
+	m.pws[pid].Drain()
+}
+
+// OnHold mirrors Recorder.OnHoldPWEntry.
+func (m *PWMirror) OnHold(pid int, sn SN) {
+	if e := m.pws[pid].Get(sn); e != nil {
+		e.held = true
+	}
+}
+
+// OnRelease mirrors the PW-visible half of Recorder.OnReleasePWEntry.
+func (m *PWMirror) OnRelease(pid int, sn SN) {
+	if e := m.pws[pid].Get(sn); e != nil {
+		e.held = false
+	}
+	m.pws[pid].Drain()
+}
+
+// Query mirrors Recorder.QueryPWForLine.
+func (m *PWMirror) Query(pid int, line cache.Line) coherence.PWQueryResult {
+	sn, val, ok := m.pws[pid].FindPerformedLoad(line)
+	if !ok {
+		return coherence.PWQueryResult{}
+	}
+	return coherence.PWQueryResult{HasPerformedLoad: true, LoadSN: sn, OldValue: val}
+}

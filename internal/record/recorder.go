@@ -222,7 +222,7 @@ var debugPromised func(pid int, dinst SN, src relog.ChunkRef, srcTS int64)
 // Recorder observes a machine run and builds the log.
 type Recorder struct {
 	cfg   Config
-	eng   *sim.Engine
+	eng   sim.Clock
 	cores []*coreState
 	vol   *scvd.Volition
 	log   *relog.Log
@@ -266,7 +266,7 @@ func (r *Recorder) inc(cp **sim.Counter, name string) {
 
 // NewRecorder builds a recorder attached to the machine's engine (for
 // timestamps on chunk durations).
-func NewRecorder(cfg Config, eng *sim.Engine, stats *sim.Stats) *Recorder {
+func NewRecorder(cfg Config, eng sim.Clock, stats *sim.Stats) *Recorder {
 	if cfg.Cores <= 0 {
 		panic("record: need at least one core")
 	}

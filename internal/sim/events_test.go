@@ -352,3 +352,89 @@ func TestStatsString(t *testing.T) {
 		t.Fatalf("String() = %q", out)
 	}
 }
+
+// TestHeapSpillAllocs pins the spill path's steady-state allocation
+// behavior: once the far heap has warmed up its backing array, repeated
+// push/pop cycles (events beyond the calendar horizon migrating in as
+// the clock advances) must not allocate. The old container/heap-based
+// implementation boxed every Event into an interface on both Push and
+// Pop, costing an allocation per spilled event.
+func TestHeapSpillAllocs(t *testing.T) {
+	e := NewEngine()
+	ran := 0
+	fn := func() { ran++ } // one shared closure: measure the heap, not the test
+	// Warm up: spill a batch, drain it completely.
+	spill := func() {
+		for i := 0; i < 64; i++ {
+			e.After(ringSize+Cycle(i), fn)
+		}
+		for e.Pending() > 0 {
+			e.Tick()
+		}
+	}
+	spill()
+	allocs := testing.AllocsPerRun(10, spill)
+	if allocs > 0 {
+		t.Fatalf("spill path allocates %.1f times per 64-event batch, want 0", allocs)
+	}
+}
+
+// TestHeapSpillKeepsBacking verifies the heap's backing array is reused
+// across a full drain/refill cycle rather than regrown.
+func TestHeapSpillKeepsBacking(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 128; i++ {
+		e.After(ringSize+Cycle(i), func() {})
+	}
+	grown := cap(e.far.ev)
+	for e.Pending() > 0 {
+		e.Tick()
+	}
+	if len(e.far.ev) != 0 {
+		t.Fatalf("heap not drained: len=%d", len(e.far.ev))
+	}
+	for i := 0; i < 128; i++ {
+		e.After(ringSize+Cycle(i), func() {})
+	}
+	if cap(e.far.ev) != grown {
+		t.Fatalf("backing array regrown: cap %d -> %d", grown, cap(e.far.ev))
+	}
+}
+
+// TestHeapSpillOrder checks the concrete-heap rewrite preserves the
+// (At, seq) execution order across interleaved spills.
+func TestHeapSpillOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 50; i++ {
+		i := i
+		// Descending target cycles, so heap order != insertion order.
+		e.After(ringSize+Cycle(50-i), func() { order = append(order, i) })
+	}
+	for j := 0; j < 8; j++ { // same cycle, insertion-order tie-break
+		j := j
+		e.After(ringSize+25, func() { order = append(order, 100+j) })
+	}
+	for e.Pending() > 0 {
+		e.Tick()
+	}
+	if len(order) != 58 {
+		t.Fatalf("ran %d events, want 58", len(order))
+	}
+	want := make([]int, 0, 58)
+	for i := 49; i >= 26; i-- {
+		want = append(want, i)
+	}
+	want = append(want, 25)
+	for j := 0; j < 8; j++ {
+		want = append(want, 100+j)
+	}
+	for i := 24; i >= 0; i-- {
+		want = append(want, i)
+	}
+	for i, v := range want {
+		if order[i] != v {
+			t.Fatalf("order[%d] = %d, want %d (full: %v)", i, order[i], v, order)
+		}
+	}
+}

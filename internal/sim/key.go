@@ -1,0 +1,126 @@
+package sim
+
+// Sharded execution replaces the serial engine's global seq counter with
+// a causal post-path key: each event remembers *where* it was posted
+// (which cycle, and by which stepper or which other event). Two events
+// scheduled for the same cycle compare by walking their post sites, and
+// the resulting order is exactly the serial engine's insertion order —
+// independent of how cores and home banks are split across shards. See
+// DESIGN.md "Deterministic parallel execution" for the proof sketch.
+
+// EvKey identifies an event's post site. Keys form a tree: an event
+// posted while another event was executing points at that event's key.
+// Roots are posts made from a stepper (parent == nil, pid >= 0) or from
+// outside any executor (parent == nil, pid == -1, e.g. test setup).
+type EvKey struct {
+	parent *EvKey // posting event's key; nil for stepper/outside posts
+	cycle  Cycle  // cycle at which the post happened
+	pid    int32  // posting stepper's global pid (parent == nil only)
+	idx    int32  // per-executor operation counter at post time
+}
+
+// KeyCmp orders two post sites exactly as the serial engine's seq
+// counter would have ordered the posts:
+//
+//  1. an earlier post cycle precedes a later one;
+//  2. within a cycle, stepper-phase posts precede event-phase posts
+//     (steppers run before the cycle's events);
+//  3. two stepper-phase posts order by (pid, idx) — steppers run in
+//     global pid order, and one stepper's posts in program order;
+//  4. two event-phase posts by the same event order by idx; posts by
+//     different events order as their posting events do (recursively) —
+//     same-cycle events execute in key order, which is the induction
+//     hypothesis.
+//
+// Keys are unique per event, so KeyCmp(a, b) == 0 iff a == b.
+func KeyCmp(a, b *EvKey) int {
+	for {
+		if a == b {
+			return 0
+		}
+		if a.cycle != b.cycle {
+			if a.cycle < b.cycle {
+				return -1
+			}
+			return 1
+		}
+		aEvt, bEvt := a.parent != nil, b.parent != nil
+		if aEvt != bEvt {
+			if !aEvt {
+				return -1 // stepper-phase post precedes event-phase post
+			}
+			return 1
+		}
+		if !aEvt {
+			if a.pid != b.pid {
+				if a.pid < b.pid {
+					return -1
+				}
+				return 1
+			}
+			if a.idx < b.idx {
+				return -1
+			}
+			return 1 // idx unique per executor, a != b
+		}
+		if a.parent == b.parent {
+			if a.idx < b.idx {
+				return -1
+			}
+			return 1
+		}
+		a, b = a.parent, b.parent
+	}
+}
+
+// keyLess is KeyCmp < 0 with nil == nil handled (serial events carry no
+// key; they never mix with sharded events).
+func keyLess(a, b *EvKey) bool { return KeyCmp(a, b) < 0 }
+
+// evLess orders two events as the serial engine would execute them:
+// by cycle, then by post-site key.
+func evLess(a, b *Event) bool {
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return keyLess(a.key, b.key)
+}
+
+// CapPos is a capture position: a totally ordered point in the serial
+// execution order at which an observer or tracer call happened. The
+// sharded machine records observer calls shard-locally tagged with their
+// CapPos and replays them in CapPos order, which is the serial call
+// order.
+type CapPos struct {
+	Cycle Cycle
+	phase uint8 // phaseStepper < phaseEvent within a cycle
+	pid   int32 // executing stepper (phaseStepper)
+	key   *EvKey
+	idx   int32
+}
+
+const (
+	phaseStepper uint8 = 0
+	phaseEvent   uint8 = 1
+	phaseOutside uint8 = 2
+)
+
+// Less orders capture positions by serial execution order.
+func (a CapPos) Less(b CapPos) bool {
+	if a.Cycle != b.Cycle {
+		return a.Cycle < b.Cycle
+	}
+	if a.phase != b.phase {
+		return a.phase < b.phase
+	}
+	if a.phase == phaseStepper {
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		return a.idx < b.idx
+	}
+	if c := KeyCmp(a.key, b.key); c != 0 {
+		return c < 0
+	}
+	return a.idx < b.idx
+}

@@ -1,0 +1,193 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+)
+
+// The shard tests run a synthetic multi-tile machine twice — once on a
+// serial Engine, once on a ShardGroup — and require the global event
+// order, the capture-merged observation sequence, and the final cycle to
+// match exactly. The workload exercises zero-delay chains, event-posted
+// events, cross-tile messages at the lookahead bound, and spill-horizon
+// delays.
+
+const (
+	toyTiles     = 4
+	toyLookahead = 8
+	toyStopCycle = 120
+	toyLimit     = 5000
+)
+
+// toyRig abstracts the two substrates: emit records an observation made
+// while tile `tile`'s component is executing, send posts fn to execute
+// at tile dst after lat cycles, after posts a tile-local event.
+type toyRig struct {
+	emit  func(tile int, label int64)
+	send  func(from, to int, lat Cycle, fn func())
+	after func(tile int, delay Cycle, fn func())
+}
+
+// toyTile is one tile: a stepper that deterministically posts local
+// events and cross-tile messages.
+type toyTile struct {
+	id    int
+	rig   *toyRig
+	rng   uint64
+	steps int
+}
+
+func (t *toyTile) next() uint64 {
+	t.rng = t.rng*6364136223846793005 + 1442695040888963407
+	return t.rng >> 33
+}
+
+func (t *toyTile) Step(now Cycle) {
+	if t.steps >= toyStopCycle {
+		return
+	}
+	t.steps++
+	r := t.next()
+	id, rig := t.id, t.rig
+	rig.emit(id, int64(id)*1_000_000+int64(r%1000))
+	switch r % 5 {
+	case 0: // local event that chains a zero-delay event
+		rig.after(id, Cycle(1+r%4), func() {
+			rig.emit(id, int64(id)*1_000_000+500_000)
+			rig.after(id, 0, func() { rig.emit(id, int64(id)*1_000_000+500_001) })
+		})
+	case 1: // cross-tile message at exactly the lookahead bound
+		dst := int(r>>8) % toyTiles
+		rig.send(id, dst, toyLookahead, func() { rig.emit(dst, int64(dst)*1_000_000+600_000) })
+	case 2: // cross-tile message beyond the bound; the handler replies
+		dst := int(r>>8) % toyTiles
+		rig.send(id, dst, toyLookahead+Cycle(r%20), func() {
+			rig.emit(dst, int64(dst)*1_000_000+700_000)
+			rig.send(dst, id, toyLookahead+1, func() { rig.emit(id, int64(id)*1_000_000+700_001) })
+		})
+	case 3: // far-future local event (spill-heap path)
+		rig.after(id, ringSize+Cycle(r%64), func() { rig.emit(id, int64(id)*1_000_000+800_000) })
+	}
+}
+
+func newToyTiles(rig *toyRig) []*toyTile {
+	tiles := make([]*toyTile, toyTiles)
+	for i := range tiles {
+		tiles[i] = &toyTile{id: i, rig: rig, rng: uint64(i)*0x9E3779B9 + 1}
+	}
+	return tiles
+}
+
+// runToySerial executes the workload on one serial engine and returns
+// the global emit order and the final cycle.
+func runToySerial(t *testing.T) ([]int64, Cycle) {
+	eng := NewEngine()
+	var order []int64
+	rig := &toyRig{
+		emit:  func(tile int, label int64) { order = append(order, label) },
+		send:  func(from, to int, lat Cycle, fn func()) { eng.After(lat, fn) },
+		after: func(tile int, delay Cycle, fn func()) { eng.After(delay, fn) },
+	}
+	tiles := newToyTiles(rig)
+	for _, tl := range tiles {
+		eng.Register(tl)
+	}
+	pred := func() bool {
+		for _, tl := range tiles {
+			if tl.steps < toyStopCycle {
+				return false
+			}
+		}
+		return eng.Pending() == 0
+	}
+	if !eng.RunUntil(pred, toyLimit) {
+		t.Fatal("serial toy run did not finish")
+	}
+	return order, eng.Now()
+}
+
+type toyCapture struct {
+	pos   CapPos
+	label int64
+}
+
+// runToySharded executes the same workload on a ShardGroup and returns
+// the capture-merged global emit order and the final cycle.
+func runToySharded(t *testing.T, shards int) ([]int64, Cycle) {
+	g := NewShardGroup(shards, toyLookahead)
+	shardOf := func(tile int) int { return tile * shards / toyTiles }
+	engOf := func(tile int) *Engine { return g.Engine(shardOf(tile)) }
+	caps := make([][]toyCapture, shards)
+	rig := &toyRig{
+		emit: func(tile int, label int64) {
+			sh := shardOf(tile)
+			caps[sh] = append(caps[sh], toyCapture{pos: engOf(tile).CapturePos(), label: label})
+		},
+		send: func(from, to int, lat Cycle, fn func()) {
+			src := engOf(from)
+			g.Send(src, engOf(to), src.Now()+lat, fn)
+		},
+		after: func(tile int, delay Cycle, fn func()) { engOf(tile).After(delay, fn) },
+	}
+	tiles := newToyTiles(rig)
+	for _, tl := range tiles {
+		engOf(tl.id).RegisterPID(tl, tl.id)
+	}
+	g.SetLocalQuiet(func(shard int) bool {
+		for _, tl := range tiles {
+			if shardOf(tl.id) == shard && tl.steps < toyStopCycle {
+				return false
+			}
+		}
+		return true
+	})
+	pred := func() bool {
+		for _, tl := range tiles {
+			if tl.steps < toyStopCycle {
+				return false
+			}
+		}
+		return g.PendingTotal() == 0
+	}
+	if !g.Run(pred, toyLimit) {
+		t.Fatal("sharded toy run did not finish")
+	}
+	// Each shard's buffer must already be in position order; the merged
+	// stream is the serial observation order.
+	var all []toyCapture
+	for _, c := range caps {
+		for i := 1; i < len(c); i++ {
+			if c[i].pos.Less(c[i-1].pos) {
+				t.Fatal("shard capture buffer not in position order")
+			}
+		}
+		all = append(all, c...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].pos.Less(all[j].pos) })
+	order := make([]int64, len(all))
+	for i, c := range all {
+		order[i] = c.label
+	}
+	return order, g.Final()
+}
+
+func TestShardGroupMatchesSerial(t *testing.T) {
+	wantOrder, wantCycle := runToySerial(t)
+	if len(wantOrder) == 0 {
+		t.Fatal("toy workload emitted nothing")
+	}
+	for _, shards := range []int{1, 2, 3, 4} {
+		gotOrder, gotCycle := runToySharded(t, shards)
+		if gotCycle != wantCycle {
+			t.Errorf("shards=%d: final cycle %d, want %d", shards, gotCycle, wantCycle)
+		}
+		if len(gotOrder) != len(wantOrder) {
+			t.Fatalf("shards=%d: %d observations, want %d", shards, len(gotOrder), len(wantOrder))
+		}
+		for i := range wantOrder {
+			if gotOrder[i] != wantOrder[i] {
+				t.Fatalf("shards=%d: observation %d = %d, want %d", shards, i, gotOrder[i], wantOrder[i])
+			}
+		}
+	}
+}

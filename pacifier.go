@@ -188,6 +188,12 @@ type Options struct {
 	// from every layer (chunks, SCV detections, store-buffer drains,
 	// MESI transitions, NoC messages). Nil = tracing off at zero cost.
 	Tracer *Tracer
+	// Shards runs the simulation on the parallel sharded engine:
+	// cores and directory banks are partitioned into this many shards,
+	// each stepped by its own goroutine under conservative lookahead.
+	// 0 = classic serial engine. Results are bit-identical at every
+	// shard count.
+	Shards int
 }
 
 // Workload is a multiprocessor program for the simulated machine.
@@ -246,6 +252,7 @@ func Record(w *Workload, opts Options, modes ...Mode) (*Run, error) {
 	copts.Seed = opts.Seed
 	copts.Atomic = opts.Atomic
 	copts.Tracer = opts.Tracer
+	copts.Shards = opts.Shards
 	if opts.MaxChunkOps > 0 {
 		copts.MaxChunkOps = opts.MaxChunkOps
 	}
