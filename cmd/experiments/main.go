@@ -1,6 +1,9 @@
 // Command experiments regenerates the paper's evaluation (Section 6):
 // Figure 11 (log size), Figure 12 (replay speed) and Figure 13 (LHB
-// occupancy), printing one table per figure in the paper's layout.
+// occupancy), printing one table per figure in the paper's layout, plus
+// a strategy Pareto study ("Figure 14") comparing every recorder
+// strategy on log bytes vs record slowdown vs replay slowdown, raw and
+// compressed.
 //
 // The sweep — one job per (app, machine size), each recorded under
 // Karma, Vol and Gra simultaneously and replayed under all three — runs
@@ -29,6 +32,7 @@ import (
 	"time"
 
 	"pacifier/internal/harness"
+	"pacifier/internal/record"
 	"pacifier/internal/telemetry"
 	"pacifier/internal/telemetry/telhttp"
 
@@ -53,7 +57,7 @@ func interruptChannel(logger *slog.Logger) <-chan struct{} {
 
 func main() {
 	var (
-		fig        = flag.Int("fig", 0, "figure to regenerate (11, 12, 13; 0 = all)")
+		fig        = flag.Int("fig", 0, "figure to regenerate (11, 12, 13, 14 = strategy Pareto; 0 = all)")
 		ops        = flag.Int("ops", 2000, "memory operations per thread (>= 1)")
 		coreArg    = flag.String("cores", "16,32,64", "machine sizes")
 		seed       = flag.Uint64("seed", 1, "simulation seed (>= 1)")
@@ -132,8 +136,18 @@ func main() {
 		cores = append(cores, n)
 	}
 
-	// One job per (app, cores): all three figures come from the same
-	// execution, recorded under Karma, Vol and Gra simultaneously.
+	// One job per (app, cores): all figures come from the same execution.
+	// Figures 11-13 need Karma, Vol and Gra; the strategy Pareto table
+	// (Figure 14) needs every recorder strategy plus the compressed-log
+	// measurements, so those runs co-record all modes with Compress set.
+	// The recorders are passive observers of one execution, so widening
+	// the mode set never changes the numbers the other figures read.
+	modes := []string{"karma", "vol", "gra"}
+	compress := false
+	if *fig == 0 || *fig == 14 {
+		modes = record.ModeNames()
+		compress = true
+	}
 	var specs []harness.JobSpec
 	for _, app := range pacifier.Apps() {
 		for _, n := range cores {
@@ -144,8 +158,9 @@ func main() {
 				Ops:            *ops,
 				Seed:           *seed,
 				Atomic:         true,
-				Modes:          []string{"karma", "vol", "gra"},
+				Modes:          modes,
 				Replay:         true,
+				Compress:       compress,
 				CaptureMetrics: *metricsOut != "",
 			})
 		}

@@ -35,6 +35,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -87,7 +88,8 @@ func main() {
 		modeName    = flag.String("mode", "gra", "recorder: "+strings.Join(pacifier.ModeNames(), ", "))
 		nonatomic   = flag.Bool("nonatomic", false, "model non-atomic writes (PowerPC/ARM style)")
 		save        = flag.String("save", "", "write the encoded log to this file")
-		load        = flag.String("load", "", "decode a saved log file, print its stats, and exit")
+		compress    = flag.Bool("compress", false, "with -save: wrap the log in the compressed container (loaders auto-detect it)")
+		load        = flag.String("load", "", "decode a saved log file (raw or compressed), print its stats, and exit")
 		cpuprofile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
 		traceFile   = flag.String("trace", "", "write a Chrome trace (record + replay events) to this file")
@@ -119,6 +121,10 @@ func main() {
 		}
 		st := a.Stats
 		fmt.Printf("log file        %s (%d bytes, audited)\n", *load, len(blob))
+		if a.Compressed {
+			fmt.Printf("container       compressed (%d raw bytes, %.2fx)\n",
+				a.RawBytes, float64(a.RawBytes)/float64(a.Bytes))
+		}
 		fmt.Printf("cores           %d\n", a.Cores)
 		fmt.Printf("chunks          %d\n", st.Chunks)
 		fmt.Printf("D_set entries   %d   P_set %d   value logs %d   pred edges %d\n",
@@ -204,6 +210,12 @@ func main() {
 		if err != nil {
 			fail("%v", err)
 		}
+		if *compress {
+			raw := len(blob)
+			blob = pacifier.CompressLog(blob)
+			fmt.Printf("log compressed  %d -> %d bytes (%.2fx)\n",
+				raw, len(blob), float64(raw)/float64(len(blob)))
+		}
 		if err := os.WriteFile(*save, blob, 0o644); err != nil {
 			fail("%v", err)
 		}
@@ -238,11 +250,11 @@ func flushTraceOnInterrupt(path string, tr *pacifier.Tracer) {
 		signal.Stop(ch)
 		if err := pacifier.WriteTraceFile(path, tr); err != nil {
 			fmt.Fprintf(os.Stderr, "pacifier: interrupted; trace flush failed: %v\n", err)
-			os.Exit(130)
+			exit(130)
 		}
 		fmt.Fprintf(os.Stderr, "pacifier: interrupted — flushed %d trace events to %s\n",
 			tr.Len(), path)
-		os.Exit(130)
+		exit(130)
 	}()
 }
 
@@ -341,7 +353,7 @@ func explain(args []string) {
 				e.CID, e.At, e.At+e.Dur)
 		}
 	}
-	os.Exit(1)
+	exit(1)
 }
 
 // sweep runs a fleet of record+replay jobs through the harness and
@@ -356,8 +368,9 @@ func sweep(args []string) {
 		seed      = fs.Uint64("seed", 1, "simulation seed (>= 1)")
 		shards    = fs.Int("shards", 0, "parallel simulation shards per job (0 = serial engine; results are identical)")
 		modesArg  = fs.String("modes", "karma,vol,gra",
-			"recorder modes, co-recorded per job (valid: "+strings.Join(pacifier.ModeNames(), ", ")+")")
+			`recorder modes, co-recorded per job ("all" or a comma list; valid: `+strings.Join(pacifier.ModeNames(), ", ")+")")
 		noReplay   = fs.Bool("no-replay", false, "record only, skip replay verification")
+		compress   = fs.Bool("compress", false, "also compress each mode's log and report compressed bytes + modeled record slowdown (feeds the Figure 14 Pareto table)")
 		nonatomic  = fs.Bool("nonatomic", false, "model non-atomic writes")
 		distAddr   = fs.String("distributed", "", "submit the sweep to a coordinator at this base URL instead of simulating in-process (the coordinator owns caching, tracing and parallelism; -jobs/-cache-dir/-trace-dir are ignored)")
 		jobs       = fs.Int("jobs", 0, "parallel simulation jobs (0 = GOMAXPROCS)")
@@ -394,12 +407,16 @@ func sweep(args []string) {
 		fail("bad -seed 0: the seed drives every random choice and must be >= 1")
 	}
 	var modes []string
-	for _, m := range strings.Split(*modesArg, ",") {
-		m = strings.TrimSpace(m)
-		if _, err := pacifier.ParseMode(m); err != nil {
-			fail("%v", err)
+	if *modesArg == "all" {
+		modes = pacifier.ModeNames()
+	} else {
+		for _, m := range strings.Split(*modesArg, ",") {
+			m = strings.TrimSpace(m)
+			if _, err := pacifier.ParseMode(m); err != nil {
+				fail("%v", err)
+			}
+			modes = append(modes, m)
 		}
-		modes = append(modes, m)
 	}
 
 	var specs []harness.JobSpec
@@ -427,7 +444,7 @@ func sweep(args []string) {
 				specs = append(specs, harness.JobSpec{
 					Kind: "app", Name: a, Cores: n, Ops: *ops, Seed: *seed,
 					Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
-					CaptureMetrics: *metrics, Shards: *shards,
+					Compress: *compress, CaptureMetrics: *metrics, Shards: *shards,
 				})
 			}
 		}
@@ -443,7 +460,7 @@ func sweep(args []string) {
 		specs = append(specs, harness.JobSpec{
 			Kind: "litmus", Name: l, Seed: *seed,
 			Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
-			CaptureMetrics: *metrics, Shards: *shards,
+			Compress: *compress, CaptureMetrics: *metrics, Shards: *shards,
 		})
 	}
 	if len(specs) == 0 {
@@ -549,10 +566,10 @@ func sweep(args []string) {
 	stopServe()
 	stopProfiles()
 	if sum.Interrupted > 0 {
-		os.Exit(130)
+		exit(130)
 	}
 	if len(harness.Errs(outcomes)) > 0 {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -775,8 +792,10 @@ type verifyReport struct {
 	SchemaVersion int    `json:"schema_version"`
 	File          string `json:"file"`
 	Bytes         int    `json:"bytes"`
+	Compressed    bool   `json:"compressed,omitempty"`
+	RawBytes      int    `json:"raw_bytes,omitempty"` // decompressed size when Compressed
 	Valid         bool   `json:"valid"`
-	Failure       string `json:"failure,omitempty"` // "corrupt-encoding" | "invalid-semantics"
+	Failure       string `json:"failure,omitempty"` // "corrupt-encoding" | "invalid-semantics" | "usage" | "error"
 	Error         string `json:"error,omitempty"`
 	Cores         int    `json:"cores,omitempty"`
 	Chunks        int    `json:"chunks,omitempty"`
@@ -795,20 +814,43 @@ func verify(args []string) {
 	fs := flag.NewFlagSet("pacifier verify", flag.ExitOnError)
 	jsonOut := fs.Bool("json", false, "emit the report as JSON")
 	fs.Parse(args)
+
+	// reject reports a pre-audit failure (bad usage, unreadable file)
+	// without breaking the -json contract: machine consumers always get
+	// a parseable report on stdout and exit status 1, never a bare
+	// stderr line where a JSON document was promised.
+	reject := func(file, failure string, err error) {
+		if !*jsonOut {
+			fail("%v", err)
+		}
+		rep := verifyReport{SchemaVersion: pacifier.SchemaVersion, File: file,
+			Failure: failure, Error: err.Error()}
+		out, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr != nil {
+			fail("%v", jerr)
+		}
+		fmt.Println(string(out))
+		exit(1)
+	}
+
 	if fs.NArg() != 1 {
-		fail("usage: pacifier verify [-json] <logfile>")
+		reject("", "usage", errors.New("usage: pacifier verify [-json] <logfile>"))
 	}
 	file := fs.Arg(0)
 
 	blob, err := os.ReadFile(file)
 	if err != nil {
-		fail("%v", err)
+		reject(file, "error", err)
 	}
-	rep := verifyReport{SchemaVersion: pacifier.SchemaVersion, File: file, Bytes: len(blob)}
+	rep := verifyReport{SchemaVersion: pacifier.SchemaVersion, File: file, Bytes: len(blob),
+		Compressed: pacifier.IsCompressedLog(blob)}
 	audit, err := pacifier.AuditLog(blob)
 	switch {
 	case err == nil:
 		rep.Valid = true
+		if audit.Compressed {
+			rep.RawBytes = audit.RawBytes
+		}
 		rep.Cores = audit.Cores
 		rep.PerCoreChunks = audit.PerCoreChunks
 		rep.Chunks = audit.Stats.Chunks
@@ -835,6 +877,9 @@ func verify(args []string) {
 		fmt.Println(string(out))
 	} else {
 		fmt.Printf("log file        %s (%d bytes)\n", rep.File, rep.Bytes)
+		if rep.Compressed && rep.Valid {
+			fmt.Printf("container       compressed (%d raw bytes)\n", rep.RawBytes)
+		}
 		if rep.Valid {
 			fmt.Println("wire decode     ok")
 			fmt.Println("invariants      ok")
@@ -858,7 +903,7 @@ func verify(args []string) {
 		}
 	}
 	if !rep.Valid {
-		os.Exit(1)
+		exit(1)
 	}
 }
 
@@ -871,14 +916,29 @@ func joinInts(xs []int) string {
 	return strings.Join(parts, " ")
 }
 
-func fail(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "pacifier: "+format+"\n", args...)
-	os.Exit(1)
+// profileStop flushes any active profiles. startProfiles replaces it;
+// exit() always calls it, so a partial profile survives every exit path
+// — fail(), explicit non-zero exits, and the SIGINT handlers — not just
+// the success path.
+var profileStop = func() {}
+
+// exit flushes profiles and terminates with code. Every os.Exit in this
+// command goes through it (os.Exit skips defers, so a direct call would
+// silently drop a requested CPU or heap profile).
+func exit(code int) {
+	profileStop()
+	os.Exit(code)
 }
 
-// startProfiles begins CPU profiling and arranges heap profiling; the
-// returned stop function flushes both (call it on the success path —
-// fail() exits without profiles, which only loses a partial profile).
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "pacifier: "+format+"\n", args...)
+	exit(1)
+}
+
+// startProfiles begins CPU profiling and arranges heap profiling. The
+// returned stop function flushes both and is idempotent — it is also
+// installed as profileStop, so exit()/fail() flush the same profiles
+// exactly once no matter which path terminates the process.
 func startProfiles(cpuprofile, memprofile string) (stop func(), err error) {
 	stop = func() {}
 	if cpuprofile != "" {
@@ -891,22 +951,26 @@ func startProfiles(cpuprofile, memprofile string) (stop func(), err error) {
 			return stop, err
 		}
 	}
+	var once sync.Once
 	stop = func() {
-		if cpuprofile != "" {
-			pprof.StopCPUProfile()
-		}
-		if memprofile != "" {
-			f, err := os.Create(memprofile)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "pacifier: %v\n", err)
-				return
+		once.Do(func() {
+			if cpuprofile != "" {
+				pprof.StopCPUProfile()
 			}
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "pacifier: %v\n", err)
+			if memprofile != "" {
+				f, err := os.Create(memprofile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "pacifier: %v\n", err)
+					return
+				}
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "pacifier: %v\n", err)
+				}
+				f.Close()
 			}
-			f.Close()
-		}
+		})
 	}
+	profileStop = stop
 	return stop, nil
 }
 
@@ -1041,8 +1105,11 @@ func bench(args []string) {
 	if *shards > 0 {
 		report.Bench = append(report.Bench,
 			caseFrom(fmt.Sprintf("RecordThroughputShards%d", *shards), recordSharded, memops))
-		if ns := recordSharded.NsPerOp(); ns > 0 {
-			report.SpeedupVsSerial = float64(record.NsPerOp()) / float64(ns)
+		// Both baselines must be real measurements: a zero serial ns/op
+		// (degenerate timer resolution) would make the ratio 0 or +Inf,
+		// and the benchguard gate would misread either as a regression.
+		if sns, rns := recordSharded.NsPerOp(), record.NsPerOp(); sns > 0 && rns > 0 {
+			report.SpeedupVsSerial = float64(rns) / float64(sns)
 		}
 	}
 

@@ -1,6 +1,7 @@
 package pacifier_test
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -15,14 +16,17 @@ import (
 )
 
 // The 20-config determinism fixture: every app recorded at two seeds,
-// with the encoded Granule and Karma logs hashed against golden values
-// in testdata/fixture_hashes.json. Any change to recorder semantics or
-// the wire encoding shows up as a hash diff; hardening-only changes
-// must keep every hash byte-identical.
+// with the encoded log of every recorder strategy hashed against golden
+// values in testdata/fixture_hashes.json. Any change to recorder
+// semantics or the wire encoding shows up as a hash diff; hardening-only
+// changes (and strategy-plumbing refactors) must keep every hash
+// byte-identical. The parallel engine is pinned too: shards 1-4 must
+// reproduce the serial hash for every strategy.
 //
 // The same 20 recordings generate the fuzz seed corpus under
-// internal/relog/testdata/fuzz/, so the fuzzer starts from real
-// recorder output. Regenerate both with:
+// internal/relog/testdata/fuzz/ (raw logs for the decode targets,
+// compressed frames for the decompression targets), so the fuzzers
+// start from real recorder output. Regenerate both with:
 //
 //	PACIFIER_UPDATE_FIXTURE=1 go test -run TestDeterminismFixture .
 
@@ -30,9 +34,24 @@ const (
 	fixtureSeeds  = 2
 	fixtureCores  = 4
 	fixtureOps    = 300
+	fixtureShards = 4
 	fixtureHashes = "testdata/fixture_hashes.json"
 	fuzzDir       = "internal/relog/testdata/fuzz"
 )
+
+// fixtureModes is every recorder strategy, in enum order.
+func fixtureModes(t *testing.T) []pacifier.Mode {
+	t.Helper()
+	var modes []pacifier.Mode
+	for _, name := range pacifier.ModeNames() {
+		m, err := pacifier.ParseMode(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		modes = append(modes, m)
+	}
+	return modes
+}
 
 func TestDeterminismFixture(t *testing.T) {
 	update := os.Getenv("PACIFIER_UPDATE_FIXTURE") != ""
@@ -48,6 +67,7 @@ func TestDeterminismFixture(t *testing.T) {
 		}
 	}
 
+	modes := fixtureModes(t)
 	got := map[string]string{}
 	configs := 0
 	for _, app := range pacifier.Apps() {
@@ -57,19 +77,28 @@ func TestDeterminismFixture(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			run, err := pacifier.Record(w, pacifier.Options{Seed: seed, Atomic: true},
-				pacifier.Granule, pacifier.Karma)
+			run, err := pacifier.Record(w, pacifier.Options{Seed: seed, Atomic: true}, modes...)
 			if err != nil {
 				t.Fatalf("%s seed %d: %v", app, seed, err)
 			}
-			for _, mode := range []pacifier.Mode{pacifier.Granule, pacifier.Karma} {
+			for _, mode := range modes {
 				blob, err := run.EncodedLog(mode)
 				if err != nil {
 					t.Fatal(err)
 				}
-				// The hardened pipeline must accept its own output.
+				// The hardened pipeline must accept its own output,
+				// raw and wrapped in the compressed container.
 				if _, err := pacifier.AuditLog(blob); err != nil {
 					t.Fatalf("%s seed %d %v: recorder output fails audit: %v", app, seed, mode, err)
+				}
+				cblob := pacifier.CompressLog(blob)
+				if dec, err := pacifier.DecompressLog(cblob); err != nil {
+					t.Fatalf("%s seed %d %v: compressed log fails to decompress: %v", app, seed, mode, err)
+				} else if !bytes.Equal(dec, blob) {
+					t.Fatalf("%s seed %d %v: compression round trip not byte-identical", app, seed, mode)
+				}
+				if _, err := pacifier.AuditLog(cblob); err != nil {
+					t.Fatalf("%s seed %d %v: compressed log fails audit: %v", app, seed, mode, err)
 				}
 				sum := sha256.Sum256(blob)
 				key := fmt.Sprintf("%s/s%d/%v", app, seed, mode)
@@ -78,8 +107,10 @@ func TestDeterminismFixture(t *testing.T) {
 					writeFuzzSeeds(t, fmt.Sprintf("seed-%s-s%d", app, seed), blob)
 				}
 			}
-			if err := run.VerifyRoundTrip(pacifier.Granule); err != nil {
-				t.Fatalf("%s seed %d: %v", app, seed, err)
+			for _, mode := range []pacifier.Mode{pacifier.Granule, pacifier.CRD} {
+				if err := run.VerifyRoundTrip(mode); err != nil {
+					t.Fatalf("%s seed %d %v: %v", app, seed, mode, err)
+				}
 			}
 		}
 	}
@@ -115,18 +146,70 @@ func TestDeterminismFixture(t *testing.T) {
 	}
 }
 
+// TestDeterminismFixtureSharded pins the parallel engine against the
+// same golden file: at every shard count 1..fixtureShards, every
+// strategy's encoded log must hash to the value the serial engine
+// produced. (Defined after TestDeterminismFixture so an update run has
+// already rewritten the golden file by the time this reads it.)
+func TestDeterminismFixtureSharded(t *testing.T) {
+	blob, err := os.ReadFile(fixtureHashes)
+	if err != nil {
+		t.Fatalf("missing golden hashes (run with PACIFIER_UPDATE_FIXTURE=1 to generate): %v", err)
+	}
+	var golden map[string]string
+	if err := json.Unmarshal(blob, &golden); err != nil {
+		t.Fatal(err)
+	}
+
+	modes := fixtureModes(t)
+	for _, app := range pacifier.Apps() {
+		for seed := uint64(1); seed <= fixtureSeeds; seed++ {
+			w, err := pacifier.App(app, fixtureCores, fixtureOps, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for shards := 1; shards <= fixtureShards; shards++ {
+				run, err := pacifier.Record(w,
+					pacifier.Options{Seed: seed, Atomic: true, Shards: shards}, modes...)
+				if err != nil {
+					t.Fatalf("%s seed %d shards %d: %v", app, seed, shards, err)
+				}
+				for _, mode := range modes {
+					blob, err := run.EncodedLog(mode)
+					if err != nil {
+						t.Fatal(err)
+					}
+					sum := sha256.Sum256(blob)
+					key := fmt.Sprintf("%s/s%d/%v", app, seed, mode)
+					if h := hex.EncodeToString(sum[:]); golden[key] != h {
+						t.Errorf("%s shards %d: log hash diverges from serial: %s -> %s",
+							key, shards, golden[key], h)
+					}
+				}
+			}
+		}
+	}
+}
+
 // writeFuzzSeeds emits one encoded log as a native Go fuzz corpus entry
-// for each log-level target, plus per-core first chunks for the chunk
+// for each log-level target (the compression targets get the compressed
+// frame of the same log), plus per-core first chunks for the chunk
 // target.
 func writeFuzzSeeds(t *testing.T, name string, blob []byte) {
 	t.Helper()
 	entry := "go test fuzz v1\n[]byte(" + strconv.Quote(string(blob)) + ")\n"
-	for _, target := range []string{"FuzzDecodeLog", "FuzzRoundTrip"} {
-		dir := filepath.Join(fuzzDir, target)
+	centry := "go test fuzz v1\n[]byte(" + strconv.Quote(string(pacifier.CompressLog(blob))) + ")\n"
+	for _, target := range []struct{ name, entry string }{
+		{"FuzzDecodeLog", entry},
+		{"FuzzRoundTrip", entry},
+		{"FuzzDecompress", centry},
+		{"FuzzCompressRoundTrip", entry}, // raw payload: the target compresses it itself
+	} {
+		dir := filepath.Join(fuzzDir, target.name)
 		if err := os.MkdirAll(dir, 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(entry), 0o644); err != nil {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(target.entry), 0o644); err != nil {
 			t.Fatal(err)
 		}
 	}

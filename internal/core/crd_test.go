@@ -1,0 +1,62 @@
+package core
+
+import (
+	"testing"
+
+	"pacifier/internal/record"
+	"pacifier/internal/relog"
+	"pacifier/internal/trace"
+)
+
+// The crd recorder (complete race detection) must be replayable by the
+// unmodified replayer: it logs a superset of Granule's boundary-visible
+// reorderings (every racing reordered access), so determinism is the
+// acceptance bar, litmus SCVs included.
+
+func TestCRDReplaysLitmus(t *testing.T) {
+	for _, mk := range []func() *trace.Workload{
+		trace.StoreBuffering, trace.MessagePassing, trace.WRC, trace.IRIW, trace.MPFenced,
+	} {
+		w := mk()
+		for seed := uint64(1); seed <= 20; seed++ {
+			rr := recordOne(t, mk(), seed, record.ModeCRD)
+			assertDeterministic(t, rr, record.ModeCRD, w.Name)
+		}
+	}
+}
+
+func TestCRDReplaysAllApps(t *testing.T) {
+	for _, p := range trace.Profiles() {
+		w := p.Generate(4, 400, 11)
+		rr := recordOne(t, w, 11, record.ModeCRD)
+		assertDeterministic(t, rr, record.ModeCRD, p.Name)
+		if err := VerifyRoundTrip(rr, record.ModeCRD); err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+// TestCRDLogValidatesAndBounds checks the produced logs satisfy the
+// relog invariants and that crd sits where it should in the log-size
+// space: no larger than R-All's everything-reordered log on the same
+// execution.
+func TestCRDLogValidatesAndBounds(t *testing.T) {
+	for _, name := range []string{"fft", "radiosity", "barnes"} {
+		p, err := trace.ProfileByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := p.Generate(4, 400, 7)
+		rr := recordOne(t, w, 7, record.ModeCRD, record.ModeRAll)
+		crd := rr.Recording(record.ModeCRD)
+		rall := rr.Recording(record.ModeRAll)
+		if err := relog.Validate(crd.Log); err != nil {
+			t.Fatalf("%s: crd log invalid: %v", name, err)
+		}
+		cb := len(relog.EncodeLog(crd.Log))
+		rb := len(relog.EncodeLog(rall.Log))
+		if cb > rb {
+			t.Errorf("%s: crd log (%d bytes) exceeds r-all (%d bytes)", name, cb, rb)
+		}
+	}
+}

@@ -111,9 +111,9 @@ func TestShardedParityLitmus(t *testing.T) {
 	} {
 		w := mk()
 		for seed := uint64(1); seed <= 5; seed++ {
-			serial := recordShards(t, w, seed, 0, nil, record.ModeKarma, record.ModeGranule)
+			serial := recordShards(t, w, seed, 0, nil, record.ModeKarma, record.ModeGranule, record.ModeCRD)
 			for _, sh := range []int{1, 2} {
-				sharded := recordShards(t, mk(), seed, sh, nil, record.ModeKarma, record.ModeGranule)
+				sharded := recordShards(t, mk(), seed, sh, nil, record.ModeKarma, record.ModeGranule, record.ModeCRD)
 				assertRunsIdentical(t, fmt.Sprintf("%s/seed=%d/shards=%d", w.Name, seed, sh),
 					serial, sharded)
 			}

@@ -9,6 +9,7 @@ import (
 	"strconv"
 	"strings"
 
+	"pacifier/internal/record"
 	"pacifier/internal/trace"
 )
 
@@ -159,8 +160,9 @@ func lhbMax(r *Result, mode string) int {
 	return 0
 }
 
-// FigureTables renders the paper-layout tables (Figure 11, 12, 13) from
-// a result set; fig selects one figure or 0 for all. The layout and
+// FigureTables renders the paper-layout tables (Figure 11, 12, 13, plus
+// the strategy Pareto study as "Figure 14") from a result set; fig
+// selects one figure or 0 for all. The layout and
 // numbers are byte-identical to what cmd/experiments printed before the
 // harness existed, because the tables are now just another emitter over
 // the same result set.
@@ -253,5 +255,83 @@ func FigureTables(w io.Writer, results []*Result, fig int) {
 			fmt.Fprintln(w)
 		}
 		fmt.Fprintf(w, "worst case: %d of 16 configured entries\n", worst)
+	}
+
+	if fig == 0 || fig == 14 {
+		ParetoTable(w, results)
+	}
+}
+
+// ParetoTable renders the strategy Pareto study (Figure 14): per
+// recorder mode, log bytes per 1k memory operations against the modeled
+// record slowdown and the measured replay slowdown — for the raw log
+// and, on jobs recorded with Compress, the compressed log. Rows follow
+// the mode enum order; modes absent from the result set are skipped, so
+// the table degrades gracefully on partial sweeps. Columns with no
+// backing data (no compression, no replay) render as "-".
+func ParetoTable(w io.Writer, results []*Result) {
+	type acc struct {
+		bytes, compBytes, memOps int64
+		recSum, recCompSum       float64
+		repSum                   float64
+		n, nComp, nRep           int
+	}
+	accs := map[string]*acc{}
+	for _, r := range results {
+		for i := range r.Modes {
+			m := &r.Modes[i]
+			a := accs[m.Mode]
+			if a == nil {
+				a = &acc{}
+				accs[m.Mode] = a
+			}
+			a.bytes += m.TotalBytes
+			a.memOps += r.MemOps
+			a.recSum += m.RecordSlowdown
+			a.n++
+			if m.CompressedBytes > 0 {
+				a.compBytes += m.CompressedBytes
+				a.recCompSum += m.RecordSlowdownCompressed
+				a.nComp++
+			}
+			if m.Replay != nil {
+				a.repSum += m.Replay.Slowdown
+				a.nRep++
+			}
+		}
+	}
+	if len(accs) == 0 {
+		return
+	}
+
+	title := "Figure 14: strategy Pareto (log bytes vs record/replay slowdown)"
+	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
+	fmt.Fprintf(w, "%-8s  %10s %8s  %10s %8s %6s  %8s\n",
+		"mode", "B/kop", "record%", "comp/kop", "c-rec%", "ratio", "replay%")
+	perKop := func(bytes, memOps int64) float64 {
+		if memOps == 0 {
+			return 0
+		}
+		return float64(bytes) * 1000 / float64(memOps)
+	}
+	for _, mode := range record.ModeNames() {
+		a := accs[mode]
+		if a == nil || a.n == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-8s  %10.1f %7.2f%%", mode,
+			perKop(a.bytes, a.memOps), a.recSum/float64(a.n)*100)
+		if a.nComp > 0 {
+			fmt.Fprintf(w, "  %10.1f %7.2f%% %6.2f",
+				perKop(a.compBytes, a.memOps), a.recCompSum/float64(a.nComp)*100,
+				float64(a.bytes)/float64(a.compBytes))
+		} else {
+			fmt.Fprintf(w, "  %10s %8s %6s", "-", "-", "-")
+		}
+		if a.nRep > 0 {
+			fmt.Fprintf(w, "  %7.2f%%\n", a.repSum/float64(a.nRep)*100)
+		} else {
+			fmt.Fprintf(w, "  %8s\n", "-")
+		}
 	}
 }

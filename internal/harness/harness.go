@@ -83,6 +83,11 @@ type JobSpec struct {
 	Modes []string `json:"modes"`
 	// Replay re-executes and verifies each recorded mode.
 	Replay bool `json:"replay"`
+	// Compress additionally runs each mode's encoded log through the
+	// relog block compressor and reports compressed bytes plus the
+	// modeled compressed record slowdown. Omitempty keeps pre-existing
+	// spec hashes stable for compression-off jobs.
+	Compress bool `json:"compress,omitempty"`
 	// CaptureMetrics attaches the run's full Stats snapshot (counters,
 	// gauges, histograms) to the Result. Part of the spec hash: a
 	// metrics-bearing result and a plain one are different artifacts.
@@ -137,8 +142,17 @@ type ModeResult struct {
 	OverheadVsKarma float64 `json:"overhead_vs_karma"`
 	HasOverhead     bool    `json:"has_overhead"`
 	// LHBMax is the Fig. 13 metric (high-water LHB occupancy).
-	LHBMax int            `json:"lhb_max"`
-	Replay *ReplayOutcome `json:"replay,omitempty"`
+	LHBMax int `json:"lhb_max"`
+	// RecordSlowdown is the modeled record-phase slowdown (fraction of
+	// native cycles; see record.RecordSlowdown). Omitempty keeps results
+	// from older cached runs decoding unchanged.
+	RecordSlowdown float64 `json:"record_slowdown,omitempty"`
+	// CompressedBytes / RecordSlowdownCompressed are present only when
+	// the spec set Compress: the block-compressed log size and the
+	// modeled slowdown with the compression engine on the drain path.
+	CompressedBytes          int64          `json:"compressed_bytes,omitempty"`
+	RecordSlowdownCompressed float64        `json:"record_slowdown_compressed,omitempty"`
+	Replay                   *ReplayOutcome `json:"replay,omitempty"`
 }
 
 // Result is the complete, deterministic outcome of one job. It contains

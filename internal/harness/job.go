@@ -7,6 +7,7 @@ import (
 	"pacifier/internal/core"
 	"pacifier/internal/obs"
 	"pacifier/internal/record"
+	"pacifier/internal/relog"
 	"pacifier/internal/replay"
 	"pacifier/internal/telemetry"
 	"pacifier/internal/trace"
@@ -123,6 +124,13 @@ func executeWith(spec JobSpec, tr *obs.Tracer, traceDir string) (*Result, error)
 		if karma != nil {
 			mr.OverheadVsKarma = core.LogOverhead(karma, rec)
 			mr.HasOverhead = true
+		}
+		mr.RecordSlowdown = record.RecordSlowdown(rec.LogStats, rec.LogStats.TotalBytes, res.NativeCycles)
+		if spec.Compress {
+			blob := relog.Compress(relog.EncodeLog(rec.Log))
+			mr.CompressedBytes = int64(len(blob))
+			mr.RecordSlowdownCompressed = record.RecordSlowdownCompressed(
+				rec.LogStats, rec.LogStats.TotalBytes, mr.CompressedBytes, res.NativeCycles)
 		}
 		telemetry.C("pacifier_record_log_bytes_total", "Encoded log bytes produced.",
 			telemetry.Label{Key: "mode", Value: m.String()}).Add(rec.LogStats.TotalBytes)

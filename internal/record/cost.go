@@ -1,0 +1,64 @@
+package record
+
+import "pacifier/internal/relog"
+
+// Record-phase slowdown model for the strategy Pareto study. The
+// simulator does not charge recording hardware on the critical path (the
+// paper's RTL would), so the harness models the record overhead
+// deterministically from the log a strategy produced:
+//
+//   - every committed chunk pays CostChunkCommit cycles (timestamp
+//     piggyback, log header write, LHB slot recycle),
+//   - every D_set/P_set/V_log entry pays CostLogEntry cycles (an LHB
+//     write on the perform path),
+//   - log bytes drain through a LogBandwidth bytes/cycle port to memory,
+//   - the optional compression engine charges CompressCyclesNum cycles
+//     per CompressCyclesDen raw bytes before the (smaller) stream drains.
+//
+// slowdown = modeled cost / native cycles — a fraction of the recorded
+// execution, directly comparable across strategies on the same run. The
+// constants are a modeling choice (documented in DESIGN.md "Recorder
+// strategies"), not measurements; what matters for the Pareto table is
+// that every strategy is charged by the same rule.
+const (
+	CostChunkCommit = 30 // cycles per committed chunk
+	CostLogEntry    = 8  // cycles per D/P/V log entry
+	LogBandwidth    = 4  // log-port bytes per cycle
+	// Compression engine throughput: 1 cycle per 2 raw bytes.
+	CompressCyclesNum = 1
+	CompressCyclesDen = 2
+)
+
+// RecordSlowdown models the record-phase slowdown of a strategy that
+// wrote logBytes of raw log over nativeCycles of execution.
+func RecordSlowdown(st relog.Stats, logBytes, nativeCycles int64) float64 {
+	if nativeCycles <= 0 {
+		return 0
+	}
+	return float64(recordCost(st)+drainCost(logBytes)) / float64(nativeCycles)
+}
+
+// RecordSlowdownCompressed models the same run with the compression
+// engine enabled: the CPU pays per raw byte, the port drains the
+// compressed bytes.
+func RecordSlowdownCompressed(st relog.Stats, rawBytes, compressedBytes, nativeCycles int64) float64 {
+	if nativeCycles <= 0 {
+		return 0
+	}
+	cost := recordCost(st) +
+		(rawBytes*CompressCyclesNum+CompressCyclesDen-1)/CompressCyclesDen +
+		drainCost(compressedBytes)
+	return float64(cost) / float64(nativeCycles)
+}
+
+func recordCost(st relog.Stats) int64 {
+	entries := int64(st.DEntries) + int64(st.PEntries) + int64(st.VEntries)
+	return int64(st.Chunks)*CostChunkCommit + entries*CostLogEntry
+}
+
+func drainCost(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + LogBandwidth - 1) / LogBandwidth
+}

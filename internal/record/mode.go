@@ -1,0 +1,107 @@
+package record
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Mode selects the SCV-D / logging policy. Each mode names a built-in
+// Strategy (see strategy.go) pairing a chunk-boundary policy with a
+// reordering-log policy.
+type Mode int
+
+const (
+	// ModeKarma is the baseline: chunk DAG only, no reordering logs.
+	// Under RC it cannot replay SCVs (the paper uses it for overhead
+	// comparison only).
+	ModeKarma Mode = iota
+	// ModeRAll logs every local reordering (Figure 7a strawman).
+	ModeRAll
+	// ModeRBound logs all still-pending instructions at each chunk
+	// termination (Figure 7b).
+	ModeRBound
+	// ModeMoveBound is Karma + Move-Bound + Invisi-Bound (Section 3.5.2).
+	ModeMoveBound
+	// ModeGranule is Karma + PMove-Bound + Invisi-Bound — Pacifier's
+	// SCV-D (Section 3.5.1).
+	ModeGranule
+	// ModeVolition gates Granule's logging with the precise Volition
+	// cycle detector — the paper's hypothetical oracle ("Vol").
+	ModeVolition
+	// ModeCRD is the complete-race-detection recorder ("Efficient
+	// Deterministic Replay Using Complete Race Detection"): races are
+	// detected online from the cross-core dependence stream and only
+	// racing reordered accesses are logged, under Granule's PMove-Bound
+	// chunk boundaries. Logs a superset of Granule (every boundary-visible
+	// reordering plus racing reorderings that boundary proofs would hide)
+	// and a subset of R-All.
+	ModeCRD
+)
+
+// String names the mode as the figures do.
+func (m Mode) String() string {
+	switch m {
+	case ModeKarma:
+		return "karma"
+	case ModeRAll:
+		return "r-all"
+	case ModeRBound:
+		return "r-bound"
+	case ModeMoveBound:
+		return "move"
+	case ModeGranule:
+		return "gra"
+	case ModeVolition:
+		return "vol"
+	case ModeCRD:
+		return "crd"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// AllModes lists every recorder mode in declaration order.
+func AllModes() []Mode {
+	return []Mode{ModeKarma, ModeRAll, ModeRBound, ModeMoveBound, ModeGranule, ModeVolition, ModeCRD}
+}
+
+// ModeNames lists the figure-style names of every mode, in the same
+// order as AllModes.
+func ModeNames() []string {
+	ms := AllModes()
+	names := make([]string, len(ms))
+	for i, m := range ms {
+		names[i] = m.String()
+	}
+	return names
+}
+
+// modeAliases maps the DESIGN.md full names (and common spellings) onto
+// canonical modes. Keys are lower-case; ParseMode lower-cases its input.
+var modeAliases = map[string]Mode{
+	"rall":       ModeRAll,
+	"r_all":      ModeRAll,
+	"rbound":     ModeRBound,
+	"r_bound":    ModeRBound,
+	"move-bound": ModeMoveBound,
+	"movebound":  ModeMoveBound,
+	"granule":    ModeGranule,
+	"volition":   ModeVolition,
+	"race":       ModeCRD,
+}
+
+// ParseMode maps a mode name back to its Mode. It accepts the
+// figure-style names ("karma", "r-all", "r-bound", "move", "gra", "vol",
+// "crd") case-insensitively, plus the full names DESIGN.md uses
+// ("Granule", "Volition", "Move-Bound", "R-All", ...).
+func ParseMode(name string) (Mode, error) {
+	canon := strings.ToLower(strings.TrimSpace(name))
+	for _, m := range AllModes() {
+		if m.String() == canon {
+			return m, nil
+		}
+	}
+	if m, ok := modeAliases[canon]; ok {
+		return m, nil
+	}
+	return 0, fmt.Errorf("record: unknown mode %q (valid: %s)", name, strings.Join(ModeNames(), ", "))
+}

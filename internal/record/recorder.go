@@ -12,7 +12,6 @@ package record
 import (
 	"fmt"
 	"sort"
-	"strings"
 
 	"pacifier/internal/cache"
 	"pacifier/internal/coherence"
@@ -23,75 +22,6 @@ import (
 	"pacifier/internal/telemetry"
 	"pacifier/internal/trace"
 )
-
-// Mode selects the SCV-D / logging policy.
-type Mode int
-
-const (
-	// ModeKarma is the baseline: chunk DAG only, no reordering logs.
-	// Under RC it cannot replay SCVs (the paper uses it for overhead
-	// comparison only).
-	ModeKarma Mode = iota
-	// ModeRAll logs every local reordering (Figure 7a strawman).
-	ModeRAll
-	// ModeRBound logs all still-pending instructions at each chunk
-	// termination (Figure 7b).
-	ModeRBound
-	// ModeMoveBound is Karma + Move-Bound + Invisi-Bound (Section 3.5.2).
-	ModeMoveBound
-	// ModeGranule is Karma + PMove-Bound + Invisi-Bound — Pacifier's
-	// SCV-D (Section 3.5.1).
-	ModeGranule
-	// ModeVolition gates Granule's logging with the precise Volition
-	// cycle detector — the paper's hypothetical oracle ("Vol").
-	ModeVolition
-)
-
-// String names the mode as the figures do.
-func (m Mode) String() string {
-	switch m {
-	case ModeKarma:
-		return "karma"
-	case ModeRAll:
-		return "r-all"
-	case ModeRBound:
-		return "r-bound"
-	case ModeMoveBound:
-		return "move"
-	case ModeGranule:
-		return "gra"
-	case ModeVolition:
-		return "vol"
-	}
-	return fmt.Sprintf("Mode(%d)", int(m))
-}
-
-// AllModes lists every recorder mode in declaration order.
-func AllModes() []Mode {
-	return []Mode{ModeKarma, ModeRAll, ModeRBound, ModeMoveBound, ModeGranule, ModeVolition}
-}
-
-// ModeNames lists the figure-style names of every mode, in the same
-// order as AllModes.
-func ModeNames() []string {
-	ms := AllModes()
-	names := make([]string, len(ms))
-	for i, m := range ms {
-		names[i] = m.String()
-	}
-	return names
-}
-
-// ParseMode maps a figure-style name ("karma", "r-all", "r-bound",
-// "move", "gra", "vol") back to its Mode.
-func ParseMode(name string) (Mode, error) {
-	for _, m := range AllModes() {
-		if m.String() == name {
-			return m, nil
-		}
-	}
-	return 0, fmt.Errorf("record: unknown mode %q (valid: %s)", name, strings.Join(ModeNames(), ", "))
-}
 
 // Config parameterizes a Recorder.
 type Config struct {
@@ -114,117 +44,17 @@ func DefaultConfig(cores int, mode Mode) Config {
 	return Config{Cores: cores, Mode: mode, MaxChunkOps: 2048, PWSize: 256, LHBSize: 16}
 }
 
-// chunkMeta is the immutable view of a closed chunk (for SN lookups and
-// snapshots after emission).
-type chunkMeta struct {
-	cid     int64
-	startSN SN
-	endSN   SN
-	ts      int64
-}
-
-// chunkState is a chunk still being assembled (the open chunk or a
-// closed chunk in the LHB).
-type chunkState struct {
-	cid     int64
-	startSN SN
-	endSN   SN // 0 while open
-	ts      int64
-	frozen  bool // became the source of a dependence: TS is promised
-	// preds is a small dedup slice (was a map): chunks typically order
-	// after a handful of predecessors, and repeated adds name a recent
-	// one, so a backwards scan beats hashing.
-	preds   []relog.ChunkRef
-	dset    []relog.DEntry
-	dindex  map[int32]int // offset -> dset index (merge preds); lazy
-	pset    []relog.PEntry
-	vlog    []relog.VEntry
-	retired int64
-	start   sim.Cycle
-	end     sim.Cycle
-	idle    sim.Cycle // barrier-park time, excluded from Duration
-	// maxSrcSN pins the closing boundary: every access served from this
-	// chunk as a dependence source promised consumers it would execute
-	// within this chunk, so the boundary may never cut below it.
-	maxSrcSN SN
-}
-
-func (c *chunkState) addPred(r relog.ChunkRef) {
-	for i := len(c.preds) - 1; i >= 0; i-- {
-		if c.preds[i] == r {
-			return
-		}
-	}
-	c.preds = append(c.preds, r)
-}
-
-// fwdPair is one store-to-load forwarding event.
-type fwdPair struct {
-	load, store SN
-	val         uint64
-}
-
-// stagedDelayed accumulates Relog information for a delayed instruction
-// until it (globally) performs — the incomp_P_set of Listing 1.
-type stagedDelayed struct {
-	chunk *chunkState
-	preds map[relog.ChunkRef]struct{}
-	// carrier is the open chunk at (the latest) staging: the delayed
-	// instruction executes in that chunk's P_set. Committing it at
-	// staging time (rather than at finalize) keeps same-line stores in
-	// SN order: a younger store absorbed by a later chunk can never
-	// execute before this one.
-	carrier *chunkState
-}
-
-// coreState is all per-core recording hardware.
-type coreState struct {
-	pw     *PendingWindow
-	mrr    SN
-	mrps   SN
-	cc     *chunkState
-	lhb    []*chunkState // closed, not yet emitted (FIFO)
-	meta   []chunkMeta   // every closed chunk ever (sorted by startSN)
-	staged map[SN]*stagedDelayed
-	// preCarrier pre-commits the carrier chunk for a store that serves
-	// as a dependence source while it could still be delayed (any store
-	// still in the PW: even a performed one can be extracted by a late
-	// invalidation-ack WAR). Consumers are promised this chunk.
-	preCarrier map[SN]*chunkState
-	// delayedSrc maps a delayed store to its carrier chunk (the chunk
-	// whose P_set executes it). If the store later serves as a
-	// dependence source, the consumer must be ordered after the
-	// carrier, not after the store's original chunk.
-	delayedSrc map[SN]relog.ChunkRef
-	// fwd maps a buffered store SN to the loads that forwarded from it
-	// (with their values); needed if the store is later delayed.
-	fwd map[SN][]relog.VEntrySN
-	// pendingVLog holds value logs whose chunk placement is not yet
-	// decided (the owning chunk is still open).
-	pendingVLog []relog.VEntrySN
-	// lineHazard tracks, per line, the largest carrier CID of any
-	// delayed store: a later same-line store in a chunk at or before
-	// that carrier must also be delayed to keep same-word program order.
-	lineHazard map[cache.Line]int64
-	// fwdPairs are store-to-load forwardings awaiting chunk placement:
-	// if the load ends up in a later chunk than the store, remote writer
-	// chunks can be ordered between them in replay, so the load's value
-	// must come from the log.
-	fwdPairs []fwdPair
-	vlogged  map[SN]struct{}
-	nextCID  int64
-	lhbMax   int
-}
-
 // debugPromised, when set by tests, observes promised-source conflicts.
 var debugPromised func(pid int, dinst SN, src relog.ChunkRef, srcTS int64)
 
 // Recorder observes a machine run and builds the log.
 type Recorder struct {
 	cfg   Config
+	strat Strategy
 	eng   sim.Clock
 	cores []*coreState
 	vol   *scvd.Volition
+	races *scvd.RaceSet
 	log   *relog.Log
 	stats *sim.Stats
 
@@ -239,7 +69,7 @@ type Recorder struct {
 	cDeps                                  [3]*sim.Counter // indexed by DepKind
 	cCyclic, cDegenerate, cPromised        *sim.Counter
 	cScvLogged, cDsetEntries, cVlogEntries *sim.Counter
-	cPerformedWrt                          *sim.Counter
+	cPerformedWrt, cRaceMarks              *sim.Counter
 
 	// Observability (nil when disabled): tr receives chunk/SCV events
 	// under mode index trMode; hChunk samples emitted chunk sizes.
@@ -276,7 +106,7 @@ func NewRecorder(cfg Config, eng sim.Clock, stats *sim.Stats) *Recorder {
 	if cfg.PWSize <= 0 {
 		cfg.PWSize = 256
 	}
-	r := &Recorder{cfg: cfg, eng: eng, log: relog.NewLog(cfg.Cores), stats: stats}
+	r := &Recorder{cfg: cfg, strat: strategyFor(cfg.Mode), eng: eng, log: relog.NewLog(cfg.Cores), stats: stats}
 	r.tr = cfg.Tracer
 	r.trMode = int8(cfg.Mode)
 	if stats != nil {
@@ -301,7 +131,7 @@ func NewRecorder(cfg Config, eng sim.Clock, stats *sim.Stats) *Recorder {
 		cs.cc = r.newChunkState(pid, cs, 1, 0)
 		r.cores = append(r.cores, cs)
 	}
-	if cfg.Mode == ModeVolition {
+	if r.strat.NeedsVolition() {
 		r.vol = scvd.NewVolition(cfg.Cores)
 		if r.tr != nil {
 			// Trace every precise cycle the oracle confirms, tagged
@@ -311,6 +141,9 @@ func NewRecorder(cfg Config, eng sim.Clock, stats *sim.Stats) *Recorder {
 					int64(dst.SN), int64(r.now()), src.PID, int64(src.SN))
 			}
 		}
+	}
+	if r.strat.NeedsRaces() {
+		r.races = scvd.NewRaceSet(cfg.Cores)
 	}
 	return r
 }
@@ -404,7 +237,7 @@ func (r *Recorder) OnPerformed(pid int, sn SN) {
 	}
 	e.performed = true
 
-	if r.cfg.Mode == ModeRAll && cs.pw.HasOlderUnperformed(sn) {
+	if !e.mustLog && r.strat.MarkOnPerform(r, pid, e) {
 		e.mustLog = true
 	}
 	if st, ok := cs.staged[sn]; ok {
@@ -425,6 +258,33 @@ func (r *Recorder) OnPerformed(pid int, sn SN) {
 	r.drain(pid)
 }
 
+// markRacing applies the strategy's dependence-time marking to one
+// racing access (crd): if the policy fires, the entry is flagged for
+// logging, finalizing immediately when its owning chunk already closed
+// (nothing else would pick a performed entry up before the next
+// termination on that core).
+func (r *Recorder) markRacing(pid int, sn SN) {
+	cs := r.cores[pid]
+	e := cs.pw.Get(sn)
+	if e == nil || e.mustLog {
+		return
+	}
+	if _, ok := cs.staged[sn]; ok {
+		return // already staged for delay: the D_set entry is coming
+	}
+	if !r.strat.MarkOnDependence(r, pid, e) {
+		return
+	}
+	e.mustLog = true
+	r.inc(&r.cRaceMarks, "record.race_marks")
+	if e.performed {
+		if ch := r.chunkStateOf(cs, sn); ch != nil && ch != cs.cc {
+			r.finalizeDelayed(pid, sn, e, &stagedDelayed{chunk: ch, preds: map[relog.ChunkRef]struct{}{}})
+			e.mustLog = false
+		}
+	}
+}
+
 // drain advances the PW tail and emits completed chunks.
 func (r *Recorder) drain(pid int) {
 	cs := r.cores[pid]
@@ -435,6 +295,9 @@ func (r *Recorder) drain(pid int) {
 	}
 	if r.vol != nil {
 		r.vol.Clear(pid, newTail)
+	}
+	if r.races != nil {
+		r.races.Clear(pid, newTail)
 	}
 	if cs.mrps != 0 && cs.mrps < newTail {
 		cs.mrps = cs.pw.YoungestPerformedSource()
@@ -607,6 +470,15 @@ func (r *Recorder) OnDependence(d coherence.Dependence) {
 			r.cDeps[k].Value++
 		}
 	}
+	if r.races != nil {
+		// Both endpoints of a cross-core dependence race by definition.
+		// Remember them (for later perform-time checks) and apply the
+		// strategy's dependence-time marking to each right away.
+		r.races.Add(d.Src.PID, d.Src.SN)
+		r.races.Add(pid, d.Dst.SN)
+		r.markRacing(d.Src.PID, d.Src.SN)
+		r.markRacing(pid, d.Dst.SN)
+	}
 
 	ch := r.chunkStateOf(cs, d.Dst.SN)
 	if ch == cs.cc {
@@ -630,7 +502,7 @@ func (r *Recorder) OnDependence(d coherence.Dependence) {
 		// Destination in a closed chunk.
 		if srcTS < ch.ts {
 			hazard := false
-			if d.Dst.IsWrite && r.cfg.Mode != ModeKarma && r.cfg.Mode != ModeRAll {
+			if d.Dst.IsWrite && r.strat.DelaysStores() {
 				// Same-word program order: if an earlier same-line store
 				// was delayed to a carrier at or after this chunk, this
 				// store must be delayed too (it would otherwise replay
@@ -671,26 +543,8 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 	dinst := d.Dst.SN
 	r.inc(&r.cCyclic, "record.cyclic_terminations")
 
-	// Boundary selection (Table 2).
-	var b SN
-	switch r.cfg.Mode {
-	case ModeKarma, ModeRAll, ModeRBound:
-		b = cs.mrr
-	case ModeMoveBound:
-		if cs.mrps != 0 {
-			b = cs.mrr // any PW source pins the boundary: no move at all
-		} else if oldest, ok := cs.pw.OldestSN(); ok {
-			b = oldest - 1
-		} else {
-			b = cs.mrr
-		}
-	case ModeGranule, ModeVolition:
-		if cs.mrps != 0 {
-			b = cs.mrps // partial move up to the youngest pinned source
-		} else {
-			b = dinst - 1
-		}
-	}
+	// Boundary selection (Table 2) is the strategy's call.
+	b := r.strat.Boundary(cs, dinst)
 	// A performed-but-unretired source can exceed MRR; the promise to
 	// remote consumers outranks the counting point, so the boundary is
 	// pinned upward rather than clamped to MRR.
@@ -704,15 +558,11 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 	// Granule's SCV trigger: the destination lands inside the closed
 	// region — its position is decided, so the reordering must be logged
 	// (SN < MRPS in Listing 1, generalized to any closed placement).
-	logIt := dinst <= b
-	switch r.cfg.Mode {
-	case ModeKarma, ModeRAll:
-		logIt = false
-	case ModeVolition:
-		logIt = logIt && volCycle
-	}
+	// The log policy refines the trigger (suppress always, oracle-gate,
+	// or take it as is).
+	logIt := r.strat.LogDelayed(dinst <= b, volCycle)
 
-	if r.tr != nil && r.cfg.Mode != ModeKarma && r.cfg.Mode != ModeRAll {
+	if r.tr != nil && r.strat.DelaysStores() {
 		// Detector outcome for this termination: a fire (the delayed
 		// destination must be logged) or a suppression (the boundary
 		// proof — Invisi-Bound / PMove-Bound — or the Volition oracle
@@ -726,9 +576,9 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 		}
 	}
 
-	if r.cfg.Mode == ModeRBound {
-		// Everything still pending at the boundary will perform beyond
-		// it: mark it all for logging (no Invisi filtering).
+	if r.strat.MarkPendingAtBoundary() {
+		// R-Bound: everything still pending at the boundary will perform
+		// beyond it: mark it all for logging (no Invisi filtering).
 		cs.pw.Range(func(e *pwEntry) {
 			if e.sn <= b && !e.performed {
 				e.mustLog = true
@@ -1026,61 +876,8 @@ func (r *Recorder) OnStorePerformedWrt(w coherence.AccessRef, pid int, line cach
 }
 
 // ---------------------------------------------------------------------
-// Lookup helpers and finish
+// Finish
 // ---------------------------------------------------------------------
-
-// liveChunkByCID finds an unemitted chunk by id (the open chunk or an
-// LHB resident).
-func (r *Recorder) liveChunkByCID(cs *coreState, cid int64) *chunkState {
-	if cs.cc.cid == cid {
-		return cs.cc
-	}
-	for i := len(cs.lhb) - 1; i >= 0; i-- {
-		if cs.lhb[i].cid == cid {
-			return cs.lhb[i]
-		}
-	}
-	return nil
-}
-
-// chunkStateOf returns the live chunkState containing sn: the open chunk,
-// an LHB resident, or nil if the chunk was already emitted.
-func (r *Recorder) chunkStateOf(cs *coreState, sn SN) *chunkState {
-	if sn >= cs.cc.startSN {
-		return cs.cc
-	}
-	// LHB is small (Figure 13: <= 7 in practice); linear scan from the
-	// youngest.
-	for i := len(cs.lhb) - 1; i >= 0; i-- {
-		c := cs.lhb[i]
-		if sn >= c.startSN && sn <= c.endSN {
-			return c
-		}
-		if sn > c.endSN {
-			return nil
-		}
-	}
-	return nil
-}
-
-// metaByCID finds closed-chunk metadata by chunk id (CIDs are monotone
-// per core, so binary search applies).
-func (r *Recorder) metaByCID(cs *coreState, cid int64) (chunkMeta, bool) {
-	i := sort.Search(len(cs.meta), func(i int) bool { return cs.meta[i].cid >= cid })
-	if i < len(cs.meta) && cs.meta[i].cid == cid {
-		return cs.meta[i], true
-	}
-	return chunkMeta{}, false
-}
-
-// metaOf finds the closed-chunk metadata containing sn.
-func (r *Recorder) metaOf(cs *coreState, sn SN) (chunkMeta, bool) {
-	i := sort.Search(len(cs.meta), func(i int) bool { return cs.meta[i].endSN >= sn })
-	if i < len(cs.meta) && sn >= cs.meta[i].startSN {
-		return cs.meta[i], true
-	}
-	return chunkMeta{}, false
-}
 
 // Finish closes every open chunk and returns the completed log. The
 // machine must have drained (every operation performed) before calling.

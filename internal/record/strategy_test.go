@@ -1,0 +1,143 @@
+package record
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseModeRoundTrip pins the satellite contract: every mode's
+// String() parses back to itself, including crd.
+func TestParseModeRoundTrip(t *testing.T) {
+	for _, m := range AllModes() {
+		got, err := ParseMode(m.String())
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", m.String(), err)
+		}
+		if got != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", m.String(), got, m)
+		}
+	}
+}
+
+// TestParseModeCaseAndAliases accepts case-insensitive spellings and the
+// DESIGN.md full names.
+func TestParseModeCaseAndAliases(t *testing.T) {
+	cases := map[string]Mode{
+		"GRA":        ModeGranule,
+		"Granule":    ModeGranule,
+		"granule":    ModeGranule,
+		"Volition":   ModeVolition,
+		"VOL":        ModeVolition,
+		"Move-Bound": ModeMoveBound,
+		"movebound":  ModeMoveBound,
+		"R-All":      ModeRAll,
+		"rall":       ModeRAll,
+		"R-Bound":    ModeRBound,
+		"rbound":     ModeRBound,
+		"Karma":      ModeKarma,
+		"CRD":        ModeCRD,
+		"race":       ModeCRD,
+		" gra ":      ModeGranule,
+	}
+	for in, want := range cases {
+		got, err := ParseMode(in)
+		if err != nil {
+			t.Errorf("ParseMode(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("ParseMode(%q) = %v, want %v", in, got, want)
+		}
+	}
+}
+
+// TestParseModeRejectsFallbackString demands the Mode(%d) fallback
+// String() of an out-of-range mode does not round-trip.
+func TestParseModeRejectsFallbackString(t *testing.T) {
+	bogus := Mode(42)
+	s := bogus.String()
+	if want := "Mode(42)"; s != want {
+		t.Fatalf("Mode(42).String() = %q, want %q", s, want)
+	}
+	if _, err := ParseMode(s); err == nil {
+		t.Fatalf("ParseMode(%q) accepted the fallback string", s)
+	}
+	if _, err := ParseMode("no-such-mode"); err == nil || !strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("ParseMode error should list valid modes, got %v", err)
+	}
+}
+
+// TestStrategyForCoversAllModes: every declared mode has a strategy, and
+// the policy axes match the paper's Table 2 pairings.
+func TestStrategyForCoversAllModes(t *testing.T) {
+	delays := map[Mode]bool{
+		ModeKarma: false, ModeRAll: false,
+		ModeRBound: true, ModeMoveBound: true, ModeGranule: true,
+		ModeVolition: true, ModeCRD: true,
+	}
+	for _, m := range AllModes() {
+		st := strategyFor(m)
+		if got := st.DelaysStores(); got != delays[m] {
+			t.Errorf("%v: DelaysStores() = %v, want %v", m, got, delays[m])
+		}
+		if got := st.NeedsVolition(); got != (m == ModeVolition) {
+			t.Errorf("%v: NeedsVolition() = %v", m, got)
+		}
+		if got := st.NeedsRaces(); got != (m == ModeCRD) {
+			t.Errorf("%v: NeedsRaces() = %v", m, got)
+		}
+		if got := st.MarkPendingAtBoundary(); got != (m == ModeRBound) {
+			t.Errorf("%v: MarkPendingAtBoundary() = %v", m, got)
+		}
+	}
+}
+
+// TestStrategyLogDelayedTruthTable pins the per-termination decision.
+func TestStrategyLogDelayedTruthTable(t *testing.T) {
+	type tc struct{ closed, vol, want bool }
+	table := map[Mode][]tc{
+		ModeKarma:     {{true, true, false}, {true, false, false}, {false, false, false}},
+		ModeRAll:      {{true, true, false}, {true, false, false}, {false, false, false}},
+		ModeRBound:    {{true, false, true}, {false, false, false}},
+		ModeMoveBound: {{true, false, true}, {false, true, false}},
+		ModeGranule:   {{true, false, true}, {false, false, false}},
+		ModeVolition:  {{true, true, true}, {true, false, false}, {false, true, false}},
+		ModeCRD:       {{true, false, true}, {false, false, false}},
+	}
+	for m, cases := range table {
+		st := strategyFor(m)
+		for _, c := range cases {
+			if got := st.LogDelayed(c.closed, c.vol); got != c.want {
+				t.Errorf("%v: LogDelayed(closed=%v, vol=%v) = %v, want %v", m, c.closed, c.vol, got, c.want)
+			}
+		}
+	}
+}
+
+// TestModeNamesMatchesEnumOrder: ModeNames indexes by int(mode) — the
+// tracer relies on that.
+func TestModeNamesMatchesEnumOrder(t *testing.T) {
+	names := ModeNames()
+	for i, n := range names {
+		if Mode(i).String() != n {
+			t.Fatalf("ModeNames()[%d] = %q, but Mode(%d).String() = %q", i, n, i, Mode(i).String())
+		}
+		if strings.HasPrefix(n, "Mode(") {
+			t.Fatalf("ModeNames contains fallback name %q", n)
+		}
+	}
+	if len(names) != len(AllModes()) {
+		t.Fatalf("ModeNames/AllModes length mismatch")
+	}
+}
+
+// TestStrategyForUnknownPanics keeps the registry honest: an unpaired
+// mode is a programming error, not a silent default.
+func TestStrategyForUnknownPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("strategyFor(Mode(99)) did not panic")
+		}
+	}()
+	_ = strategyFor(Mode(99))
+}

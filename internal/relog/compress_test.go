@@ -1,0 +1,184 @@
+package relog
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sampleEncodedLog builds a real multi-core encoded log to compress.
+func sampleEncodedLog() []byte {
+	l := NewLog(3)
+	start := []SN{1, 1, 1}
+	for pid := 0; pid < 3; pid++ {
+		for cid := int64(0); cid < 4; cid++ {
+			c := sampleChunk(pid, cid, start[pid])
+			start[pid] = c.EndSN + 1
+			l.Append(c)
+		}
+	}
+	return EncodeLog(l)
+}
+
+func TestCompressRoundTrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		{0x42},
+		bytes.Repeat([]byte{7}, 10),
+		bytes.Repeat([]byte("abcdefg"), 4096), // spans multiple matches
+		bytes.Repeat([]byte{1}, maxBlock+100), // spans blocks
+		sampleEncodedLog(),
+	}
+	for i, raw := range cases {
+		blob := Compress(raw)
+		if !IsCompressed(blob) {
+			t.Fatalf("case %d: Compress output not detected as compressed", i)
+		}
+		if IsCompressed(raw) && len(raw) > 0 {
+			t.Fatalf("case %d: raw input misdetected as compressed", i)
+		}
+		got, err := Decompress(blob)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, raw) {
+			t.Fatalf("case %d: round trip lost bytes (%d in, %d out)", i, len(raw), len(got))
+		}
+	}
+}
+
+func TestCompressShrinksEncodedLog(t *testing.T) {
+	raw := sampleEncodedLog()
+	blob := Compress(raw)
+	if len(blob) >= len(raw) {
+		t.Logf("compressed %d -> %d bytes (incompressible sample)", len(raw), len(blob))
+	} else {
+		t.Logf("compressed %d -> %d bytes (%.1f%%)", len(raw), len(blob), 100*float64(len(blob))/float64(len(raw)))
+	}
+	// Highly repetitive input must actually shrink.
+	rep := bytes.Repeat([]byte("pacifier-chunk-"), 1000)
+	if c := Compress(rep); len(c) >= len(rep)/4 {
+		t.Fatalf("repetitive input compressed %d -> %d bytes only", len(rep), len(c))
+	}
+}
+
+// TestCompressedFixedPoint is the satellite assertion: the full
+// encode∘compress∘decompress∘decode pipeline is the identity on a real
+// log, byte for byte.
+func TestCompressedFixedPoint(t *testing.T) {
+	e1 := sampleEncodedLog()
+	dec, err := Decompress(Compress(e1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := DecodeLog(dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2 := EncodeLog(l); !bytes.Equal(e1, e2) {
+		t.Fatalf("encode∘compress∘decompress∘decode not byte-identical: %d vs %d bytes", len(e1), len(e2))
+	}
+}
+
+// TestDecompressRejects drives the hostile paths: every rejection must
+// be a typed *CorruptError wrapping ErrCorrupt with a useful message.
+func TestDecompressRejects(t *testing.T) {
+	valid := Compress([]byte("abcdabcdabcdabcd"))
+	hdr := len(compMagic) + 1 // magic + version
+	cases := []struct {
+		name string
+		blob []byte
+		want string
+	}{
+		{"empty", nil, "magic"},
+		{"raw log bytes", []byte{1, 0}, "magic"},
+		{"bad magic", []byte{0x00, 'X', 'Z', 'L', 1, 0}, "magic"},
+		{"bad version", append(append([]byte{}, compMagic[:]...), 0x7f, 0), "version"},
+		{"truncated size", valid[:hdr], "truncated"},
+		{"huge size", append(append(append([]byte{}, compMagic[:]...), compVersion),
+			0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01), "implausible"},
+		{"trailing bytes", append(append([]byte{}, valid...), 0xAA), "trailing"},
+		{"truncated blocks", valid[:len(valid)-3], ""},
+	}
+	for _, c := range cases {
+		_, err := Decompress(c.blob)
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+			continue
+		}
+		var ce *CorruptError
+		if !errors.As(err, &ce) || !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: error %v is not a *CorruptError wrapping ErrCorrupt", c.name, err)
+			continue
+		}
+		if c.want != "" && !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+// TestDecompressBoundsAllocation feeds a frame declaring a huge
+// decompressed size with almost no backing bytes: the decoder must fail
+// early without producing (or allocating) the declared size.
+func TestDecompressBoundsAllocation(t *testing.T) {
+	blob := append(append([]byte{}, compMagic[:]...), compVersion)
+	blob = putUvarint(blob, maxCompressedRaw) // 1 TiB declared
+	blob = putUvarint(blob, maxBlock)         // one block claiming 64K raw
+	blob = putUvarint(blob, 1)                // from one byte
+	blob = append(blob, 0x02)                 // literal run of 1... then nothing
+	out, err := Decompress(blob)
+	if err == nil {
+		t.Fatalf("accepted a 1 TiB declaration backed by %d bytes (produced %d)", len(blob), len(out))
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("error %v does not wrap ErrCorrupt", err)
+	}
+}
+
+// FuzzDecompress proves Decompress total over arbitrary bytes: typed
+// errors only, production-bounded allocation, no panics.
+func FuzzDecompress(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Compress(nil))
+	f.Add(Compress([]byte("abcdabcdabcdabcdXYZ")))
+	f.Add(Compress(sampleEncodedLog()))
+	for _, seed := range logSeeds() {
+		f.Add(Compress(seed))
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, b []byte) {
+		out, err := Decompress(b)
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("decompress error %v does not wrap ErrCorrupt", err)
+			}
+			return
+		}
+		// Each block costs >= 3 input bytes and yields <= maxBlock output.
+		if max := (len(b)/3 + 1) * maxBlock; len(out) > max {
+			t.Fatalf("%d bytes produced from %d input bytes", len(out), len(b))
+		}
+	})
+}
+
+// FuzzCompressRoundTrip asserts Decompress(Compress(x)) == x for
+// arbitrary payloads — the compressor never writes a frame its decoder
+// rejects or mangles.
+func FuzzCompressRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("abcdabcdabcd"))
+	f.Add(bytes.Repeat([]byte{0}, maxBlock+17))
+	f.Add(sampleEncodedLog())
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		blob := Compress(raw)
+		got, err := Decompress(blob)
+		if err != nil {
+			t.Fatalf("own output rejected: %v", err)
+		}
+		if !bytes.Equal(got, raw) {
+			t.Fatalf("round trip lost bytes: %d in, %d out", len(raw), len(got))
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package scvd
+
+// RaceSet is the online race ledger behind the crd recorder ("Efficient
+// Deterministic Replay Using Complete Race Detection"): every cross-core
+// dependence names two racing accesses, and the set remembers — per
+// core, windowed to the pending window like Volition's race clearance —
+// which local SNs have been so named. The crd log policy then records a
+// reordered access only if it is in the set: non-racing reorderings can
+// never be observed by another core, so replaying them in program order
+// is safe.
+type RaceSet struct {
+	// perCore[pid] holds the racing SNs still inside pid's window.
+	perCore []map[SN]struct{}
+	// horizon[pid]: SNs below this have been cleared.
+	horizon []SN
+	added   int64
+}
+
+// NewRaceSet creates a ledger for n cores.
+func NewRaceSet(n int) *RaceSet {
+	s := &RaceSet{perCore: make([]map[SN]struct{}, n), horizon: make([]SN, n)}
+	for i := range s.perCore {
+		s.perCore[i] = make(map[SN]struct{})
+	}
+	return s
+}
+
+// Add marks (pid, sn) as racing. Adds below the cleared horizon are
+// dropped: the access has left the window and can no longer be delayed.
+func (s *RaceSet) Add(pid int, sn SN) {
+	if sn < s.horizon[pid] {
+		return
+	}
+	s.perCore[pid][sn] = struct{}{}
+	s.added++
+}
+
+// Racing reports whether (pid, sn) has been named by a dependence.
+func (s *RaceSet) Racing(pid int, sn SN) bool {
+	_, ok := s.perCore[pid][sn]
+	return ok
+}
+
+// Clear discards racing marks below belowSN on core pid (the accesses
+// left the pending window).
+func (s *RaceSet) Clear(pid int, belowSN SN) {
+	if belowSN <= s.horizon[pid] {
+		return
+	}
+	s.horizon[pid] = belowSN
+	m := s.perCore[pid]
+	if len(m) == 0 {
+		return
+	}
+	for sn := range m {
+		if sn < belowSN {
+			delete(m, sn)
+		}
+	}
+}
+
+// Len returns the live mark count (for occupancy tests).
+func (s *RaceSet) Len() int {
+	n := 0
+	for _, m := range s.perCore {
+		n += len(m)
+	}
+	return n
+}
+
+// Added returns how many racing marks have been recorded in total.
+func (s *RaceSet) Added() int64 { return s.added }

@@ -1,0 +1,49 @@
+package scvd
+
+import "testing"
+
+func TestRaceSetAddRacingClear(t *testing.T) {
+	s := NewRaceSet(2)
+	if s.Racing(0, 5) {
+		t.Fatal("empty set reported a race")
+	}
+	s.Add(0, 5)
+	s.Add(1, 9)
+	if !s.Racing(0, 5) || !s.Racing(1, 9) {
+		t.Fatal("added marks not reported")
+	}
+	if s.Racing(0, 9) || s.Racing(1, 5) {
+		t.Fatal("marks leaked across cores")
+	}
+	if s.Len() != 2 || s.Added() != 2 {
+		t.Fatalf("Len=%d Added=%d, want 2/2", s.Len(), s.Added())
+	}
+}
+
+func TestRaceSetClearWindows(t *testing.T) {
+	s := NewRaceSet(1)
+	for sn := SN(1); sn <= 10; sn++ {
+		s.Add(0, sn)
+	}
+	s.Clear(0, 6)
+	for sn := SN(1); sn < 6; sn++ {
+		if s.Racing(0, sn) {
+			t.Fatalf("sn %d survived clear below 6", sn)
+		}
+	}
+	for sn := SN(6); sn <= 10; sn++ {
+		if !s.Racing(0, sn) {
+			t.Fatalf("sn %d lost by clear below 6", sn)
+		}
+	}
+	// A non-advancing clear is a no-op.
+	s.Clear(0, 3)
+	if s.Len() != 5 {
+		t.Fatalf("Len=%d after no-op clear, want 5", s.Len())
+	}
+	// Adds below the horizon are dropped: the access left the window.
+	s.Add(0, 2)
+	if s.Racing(0, 2) {
+		t.Fatal("add below horizon was kept")
+	}
+}

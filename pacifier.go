@@ -108,22 +108,56 @@ const (
 	// Volition gates Granule's logging with a precise cycle detector —
 	// the paper's hypothetical oracle ("Vol").
 	Volition = record.ModeVolition
+	// CRD detects races online and logs only the racing accesses —
+	// Granule's boundaries with a race-directed logging policy.
+	CRD = record.ModeCRD
 )
 
 // ParseMode maps a figure-style mode name ("karma", "r-all", "r-bound",
-// "move", "gra", "vol") to its Mode; Mode's String method is its
-// inverse.
+// "move", "gra", "vol", "crd") to its Mode; names are matched
+// case-insensitively and DESIGN.md's full names ("granule", "volition",
+// ...) are accepted as aliases. Mode's String method is its inverse.
 func ParseMode(name string) (Mode, error) { return record.ParseMode(name) }
 
 // ModeNames lists every recorder mode's figure-style name.
 func ModeNames() []string { return record.ModeNames() }
 
+// CompressLog wraps an encoded log (or any byte stream) in the
+// compressed-log container: 64 KiB blocks of greedy LZ matching over the
+// already delta+varint-compact wire encoding. Decompression is total
+// over untrusted input (every failure wraps ErrCorruptLog), and
+// AuditLog, DecodeLogStats and Run.ReplayLog detect the container
+// automatically.
+func CompressLog(blob []byte) []byte { return relog.Compress(blob) }
+
+// DecompressLog inverts CompressLog. The returned error wraps
+// ErrCorruptLog on any framing damage.
+func DecompressLog(blob []byte) ([]byte, error) { return relog.Decompress(blob) }
+
+// IsCompressedLog reports whether blob carries the compressed-log
+// container (it can never be confused with a raw encoded log).
+func IsCompressedLog(blob []byte) bool { return relog.IsCompressed(blob) }
+
+// maybeDecompress transparently unwraps the compressed-log container so
+// every log-consuming entry point accepts both forms.
+func maybeDecompress(blob []byte) ([]byte, error) {
+	if relog.IsCompressed(blob) {
+		return relog.Decompress(blob)
+	}
+	return blob, nil
+}
+
 // DecodeLogStats parses a log in the wire encoding (as written by
-// EncodedLog / `pacifier -save`) and returns its statistics. It checks
-// only wire-level well-formedness; use AuditLog to also check the
-// recorder's semantic invariants.
+// EncodedLog / `pacifier -save`), transparently decompressing the
+// compressed container, and returns its statistics. It checks only
+// wire-level well-formedness; use AuditLog to also check the recorder's
+// semantic invariants.
 func DecodeLogStats(blob []byte) (LogStats, error) {
-	log, err := relog.DecodeLog(blob)
+	raw, err := maybeDecompress(blob)
+	if err != nil {
+		return LogStats{}, err
+	}
+	log, err := relog.DecodeLog(raw)
 	if err != nil {
 		return LogStats{}, err
 	}
@@ -145,26 +179,35 @@ var (
 
 // LogAudit is AuditLog's structured report over a valid log.
 type LogAudit struct {
-	Bytes         int      // encoded size
+	Bytes         int      // size as given (compressed size if Compressed)
+	Compressed    bool     // blob carried the compressed-log container
+	RawBytes      int      // decompressed wire-encoding size
 	Cores         int      // recorded core count
 	PerCoreChunks []int    // chunk count per core
 	Stats         LogStats // wire-encoding statistics
 }
 
 // AuditLog decodes blob and checks every invariant of the log pipeline:
-// the wire format (bounded, typed decoding) and the recorder's semantic
-// guarantees (relog.Validate). A nil error means the log will either
-// replay or be rejected deterministically — it can never crash the
-// replayer. The returned error wraps ErrCorruptLog or ErrInvalidLog.
+// the compressed container (when present), the wire format (bounded,
+// typed decoding) and the recorder's semantic guarantees
+// (relog.Validate). A nil error means the log will either replay or be
+// rejected deterministically — it can never crash the replayer. The
+// returned error wraps ErrCorruptLog or ErrInvalidLog.
 func AuditLog(blob []byte) (*LogAudit, error) {
-	log, err := relog.DecodeLog(blob)
+	compressed := relog.IsCompressed(blob)
+	raw, err := maybeDecompress(blob)
+	if err != nil {
+		return nil, err
+	}
+	log, err := relog.DecodeLog(raw)
 	if err != nil {
 		return nil, err
 	}
 	if err := relog.Validate(log); err != nil {
 		return nil, err
 	}
-	a := &LogAudit{Bytes: len(blob), Cores: log.Cores, Stats: log.ComputeStats()}
+	a := &LogAudit{Bytes: len(blob), Compressed: compressed, RawBytes: len(raw),
+		Cores: log.Cores, Stats: log.ComputeStats()}
 	for pid := 0; pid < log.Cores; pid++ {
 		a.PerCoreChunks = append(a.PerCoreChunks, len(log.Chunks(pid)))
 	}
@@ -290,11 +333,16 @@ func (r *Run) ReplayTraced(mode Mode, tr *Tracer) (*ReplayResult, error) {
 // run's workload and recorded outcomes — the divergence explainer's
 // core: a suspect log file replays against a trusted re-recorded
 // reference, and the first divergent event lands in
-// ReplayResult.Divergence. The blob is audited first (AuditLog); chunk
-// durations, which the wire format omits, are restored best-effort
-// from this run's recording of mode.
+// ReplayResult.Divergence. The blob is audited first (AuditLog) and may
+// carry the compressed-log container; chunk durations, which the wire
+// format omits, are restored best-effort from this run's recording of
+// mode.
 func (r *Run) ReplayLog(blob []byte, mode Mode, tr *Tracer) (*ReplayResult, error) {
-	log, err := relog.DecodeLog(blob)
+	raw, err := maybeDecompress(blob)
+	if err != nil {
+		return nil, err
+	}
+	log, err := relog.DecodeLog(raw)
 	if err != nil {
 		return nil, err
 	}
