@@ -10,6 +10,7 @@
 //	pacifier -app fft -cores 16 -save fft.rrlog
 //	pacifier -load fft.rrlog
 //	pacifier verify fft.rrlog
+//	pacifier profile -app fft -cores 16 -folded fft.folded
 //	pacifier sweep -apps fft,lu -cores 16,32 -format csv
 //	pacifier sweep -apps all -http :9090          # live /metrics + /api/fleet
 //	pacifier serve -http :9090 -apps fft,lu       # continuous soak rounds
@@ -76,6 +77,10 @@ func main() {
 		explain(os.Args[2:])
 		return
 	}
+	if len(os.Args) > 1 && os.Args[1] == "profile" {
+		profileCmd(os.Args[2:])
+		return
+	}
 
 	var (
 		app         = flag.String("app", "", "SPLASH-2-like application (see -list)")
@@ -94,6 +99,7 @@ func main() {
 		memprofile  = flag.String("memprofile", "", "write a heap profile to this file")
 		traceFile   = flag.String("trace", "", "write a Chrome trace (record + replay events) to this file")
 		metricsFile = flag.String("metrics", "", "write the run's metrics snapshot JSON to this file")
+		profCycles  = flag.Bool("profile-cycles", false, "attribute stall/service cycles per layer (prints the cycle table; adds prof.* counter tracks to -trace)")
 	)
 	flag.Parse()
 
@@ -160,7 +166,8 @@ func main() {
 		tr = pacifier.NewTracer(w.Name)
 		flushTraceOnInterrupt(*traceFile, tr)
 	}
-	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic, Tracer: tr, Shards: *shards}, modes...)
+	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic,
+		Tracer: tr, Shards: *shards, ProfileCycles: *profCycles}, modes...)
 	if err != nil {
 		fail("record: %v", err)
 	}
@@ -180,6 +187,10 @@ func main() {
 		}
 	}
 	fmt.Printf("LHB max         %d (configured 16)\n", run.LHBMax(mode))
+	if *profCycles {
+		fmt.Printf("measured record %+.2f%% slowdown (modeled counterpart: harness record%%)\n",
+			run.MeasuredRecordSlowdown(mode)*100)
+	}
 
 	res, err := run.ReplayTraced(mode, tr)
 	if err != nil {
@@ -222,6 +233,13 @@ func main() {
 		fmt.Printf("log written     %s (%d bytes)\n", *save, len(blob))
 	}
 
+	if *profCycles {
+		fmt.Println()
+		if err := run.CycleReport().WriteTable(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
+
 	if *metricsFile != "" {
 		if err := pacifier.WriteMetricsFile(*metricsFile, run.Metrics()); err != nil {
 			fail("%v", err)
@@ -229,10 +247,105 @@ func main() {
 		fmt.Printf("metrics written %s\n", *metricsFile)
 	}
 	if *traceFile != "" {
-		if err := pacifier.WriteTraceFile(*traceFile, tr); err != nil {
+		if *profCycles {
+			err = pacifier.WriteTraceFileWithCycles(*traceFile, tr, run.CycleReport(), run.NativeCycles())
+		} else {
+			err = pacifier.WriteTraceFile(*traceFile, tr)
+		}
+		if err != nil {
 			fail("%v", err)
 		}
 		fmt.Printf("trace written   %s (%d events)\n", *traceFile, tr.Len())
+	}
+}
+
+// profileCmd records one workload with the cycle-accounting profiler on
+// and renders the attribution: the per-layer cycle table on stdout, a
+// folded-stack flamegraph file (-folded, feed to flamegraph.pl or
+// speedscope), and optionally the event trace with per-core prof.*
+// Perfetto counter tracks (-trace).
+func profileCmd(args []string) {
+	fs := flag.NewFlagSet("pacifier profile", flag.ExitOnError)
+	var (
+		app       = fs.String("app", "", "SPLASH-2-like application (see pacifier -list)")
+		litmus    = fs.String("litmus", "", "litmus test: sb, mp, wrc, iriw, mp-fenced")
+		cores     = fs.Int("cores", 16, "number of cores (threads)")
+		ops       = fs.Int("ops", 2000, "memory operations per thread")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		shards    = fs.Int("shards", 0, "parallel simulation shards (0 = serial; attribution is identical)")
+		modesArg  = fs.String("modes", "gra", `recorder modes to co-record ("all" or a comma list)`)
+		nonatomic = fs.Bool("nonatomic", false, "model non-atomic writes")
+		folded    = fs.String("folded", "", "write folded stacks (core;component cycles) to this file")
+		traceFile = fs.String("trace", "", "write a Chrome trace with prof.* counter tracks to this file")
+	)
+	fs.Parse(args)
+
+	var modes []pacifier.Mode
+	names := pacifier.ModeNames()
+	if *modesArg != "all" {
+		names = strings.Split(*modesArg, ",")
+	}
+	for _, name := range names {
+		m, err := pacifier.ParseMode(strings.TrimSpace(name))
+		if err != nil {
+			fail("unknown mode %q (valid: %s)", name, strings.Join(pacifier.ModeNames(), ", "))
+		}
+		modes = append(modes, m)
+	}
+
+	var w *pacifier.Workload
+	var err error
+	switch {
+	case *litmus != "":
+		w, err = pacifier.Litmus(*litmus)
+	case *app != "":
+		w, err = pacifier.App(*app, *cores, *ops, *seed)
+	default:
+		fail("need -app or -litmus (try pacifier -list)")
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+
+	var tr *pacifier.Tracer
+	if *traceFile != "" {
+		tr = pacifier.NewTracer(w.Name)
+	}
+	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic,
+		Tracer: tr, Shards: *shards, ProfileCycles: true}, modes...)
+	if err != nil {
+		fail("record: %v", err)
+	}
+
+	rep := run.CycleReport()
+	fmt.Printf("workload        %s (%d cores, %d mem ops, %d native cycles)\n",
+		w.Name, len(w.Threads), run.MemOps(), run.NativeCycles())
+	for _, m := range modes {
+		st := run.LogStats(m)
+		fmt.Printf("%-8v         modeled %+.2f%%   measured %+.2f%%   (%d chunks, %d log bytes)\n",
+			m, pacifier.ModeledRecordSlowdown(st, run.NativeCycles())*100,
+			run.MeasuredRecordSlowdown(m)*100, st.Chunks, st.TotalBytes)
+	}
+	fmt.Println()
+	if err := rep.WriteTable(os.Stdout); err != nil {
+		fail("%v", err)
+	}
+
+	if *folded != "" {
+		var b strings.Builder
+		if err := rep.WriteFolded(&b); err != nil {
+			fail("%v", err)
+		}
+		if err := os.WriteFile(*folded, []byte(b.String()), 0o644); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("folded stacks   %s\n", *folded)
+	}
+	if *traceFile != "" {
+		if err := pacifier.WriteTraceFileWithCycles(*traceFile, tr, rep, run.NativeCycles()); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("trace written   %s (%d events + counter tracks)\n", *traceFile, tr.Len())
 	}
 }
 
@@ -306,7 +419,10 @@ func explain(args []string) {
 	if *traceFile != "" {
 		flushTraceOnInterrupt(*traceFile, tr)
 	}
-	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic, Tracer: tr}, mode)
+	// Profile the reference record and the replay so a divergence report
+	// can show where the cycles went on each side up to the divergence.
+	run, err := pacifier.Record(w, pacifier.Options{Seed: *seed, Atomic: !*nonatomic,
+		Tracer: tr, ProfileCycles: true}, mode)
 	if err != nil {
 		fail("record reference: %v", err)
 	}
@@ -353,6 +469,22 @@ func explain(args []string) {
 				e.CID, e.At, e.At+e.Dur)
 		}
 	}
+	if res.Prof != nil {
+		// Attribution delta up to the divergence point: where the record
+		// side spent its cycles versus where the replay stalled before it
+		// went wrong. The replay side only ever populates the noc (wake
+		// latency) and barrier (dependence wait) components, so large
+		// record-side residue in other rows is expected and localizes the
+		// layers the replay never re-simulates.
+		fmt.Println("\nattribution     record side (reference execution):")
+		if err := run.CycleReport().WriteTable(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+		fmt.Println("\nattribution     record - replay, up to the divergence:")
+		if err := run.CycleReport().Delta(res.Prof).WriteTable(os.Stdout); err != nil {
+			fail("%v", err)
+		}
+	}
 	exit(1)
 }
 
@@ -387,6 +519,7 @@ func sweep(args []string) {
 		httpLinger = fs.Duration("http-linger", 0, "keep the telemetry server up this long after the sweep finishes")
 		logFormat  = fs.String("log-format", "text", "log output format: text, json")
 		logLevel   = fs.String("log-level", "info", "log level: debug, info, warn, error")
+		profCycles = fs.Bool("profile-cycles", true, "attribute stall/service cycles per layer and emit the measured record slowdown next to the modeled one (Figure 14's meas%% column)")
 	)
 	fs.Parse(args)
 
@@ -445,6 +578,7 @@ func sweep(args []string) {
 					Kind: "app", Name: a, Cores: n, Ops: *ops, Seed: *seed,
 					Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
 					Compress: *compress, CaptureMetrics: *metrics, Shards: *shards,
+					ProfileCycles: *profCycles,
 				})
 			}
 		}
@@ -461,6 +595,7 @@ func sweep(args []string) {
 			Kind: "litmus", Name: l, Seed: *seed,
 			Atomic: !*nonatomic, Modes: modes, Replay: !*noReplay,
 			Compress: *compress, CaptureMetrics: *metrics, Shards: *shards,
+			ProfileCycles: *profCycles,
 		})
 	}
 	if len(specs) == 0 {
@@ -656,6 +791,9 @@ func serve(args []string) {
 					Kind: "app", Name: a, Cores: n, Ops: *ops,
 					Seed: *seed + uint64(round), Atomic: true,
 					Modes: modes, Replay: true,
+					// Soak rounds profile so the live /metrics surface
+					// carries the pacifier_prof_cycles_total family.
+					ProfileCycles: true,
 				})
 			}
 		}
@@ -1028,6 +1166,7 @@ func bench(args []string) {
 		ops        = fs.Int("ops", 1000, "memory operations per thread")
 		seed       = fs.Uint64("seed", 1, "simulation seed")
 		shards     = fs.Int("shards", 0, "also measure the parallel engine at this shard count (0 = serial only)")
+		profCycles = fs.Bool("profile-cycles", false, "also measure record with the cycle-accounting profiler on (reports its overhead as a separate case)")
 		out        = fs.String("o", "", "output file (default BENCH_<date>.json)")
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file")
@@ -1073,6 +1212,22 @@ func bench(args []string) {
 		})
 	}
 
+	// Optionally measure record with the profiler attributing cycles; the
+	// delta versus RecordThroughput is the profiler's own cost.
+	var recordProfiled testing.BenchmarkResult
+	if *profCycles {
+		popts := opts
+		popts.ProfileCycles = true
+		recordProfiled = testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := pacifier.Record(w, popts, pacifier.Granule); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+
 	run, err := pacifier.Record(w, opts, pacifier.Granule)
 	if err != nil {
 		fail("record: %v", err)
@@ -1111,6 +1266,10 @@ func bench(args []string) {
 		if sns, rns := recordSharded.NsPerOp(), record.NsPerOp(); sns > 0 && rns > 0 {
 			report.SpeedupVsSerial = float64(rns) / float64(sns)
 		}
+	}
+	if *profCycles {
+		report.Bench = append(report.Bench,
+			caseFrom("RecordThroughputProfiled", recordProfiled, memops))
 	}
 
 	path := *out

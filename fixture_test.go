@@ -8,7 +8,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
+	"strings"
 	"testing"
 
 	"pacifier"
@@ -38,6 +40,31 @@ const (
 	fixtureHashes = "testdata/fixture_hashes.json"
 	fuzzDir       = "internal/relog/testdata/fuzz"
 )
+
+// profHash canonically serializes a run's cycle-accounting report (the
+// folded per-core stacks plus the recorder-by-mode split) and hashes it.
+// The fixture records with ProfileCycles on, so the golden "<app>/s<n>/prof"
+// keys pin the profiler's attribution the same way the log hashes pin the
+// recorders — and the sharded test proves the attribution byte-identical
+// at every shard count.
+func profHash(t *testing.T, run *pacifier.Run) string {
+	t.Helper()
+	rep := run.CycleReport()
+	var b strings.Builder
+	if err := rep.WriteFolded(&b); err != nil {
+		t.Fatal(err)
+	}
+	modes := make([]string, 0, len(rep.RecorderByMode))
+	for m := range rep.RecorderByMode {
+		modes = append(modes, m)
+	}
+	sort.Strings(modes)
+	for _, m := range modes {
+		fmt.Fprintf(&b, "mode;%s %d\n", m, rep.RecorderByMode[m])
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:])
+}
 
 // fixtureModes is every recorder strategy, in enum order.
 func fixtureModes(t *testing.T) []pacifier.Mode {
@@ -77,10 +104,14 @@ func TestDeterminismFixture(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			run, err := pacifier.Record(w, pacifier.Options{Seed: seed, Atomic: true}, modes...)
+			// ProfileCycles rides along: the log hashes double as proof
+			// that attribution never perturbs the simulated execution.
+			run, err := pacifier.Record(w,
+				pacifier.Options{Seed: seed, Atomic: true, ProfileCycles: true}, modes...)
 			if err != nil {
 				t.Fatalf("%s seed %d: %v", app, seed, err)
 			}
+			got[fmt.Sprintf("%s/s%d/prof", app, seed)] = profHash(t, run)
 			for _, mode := range modes {
 				blob, err := run.EncodedLog(mode)
 				if err != nil {
@@ -170,9 +201,15 @@ func TestDeterminismFixtureSharded(t *testing.T) {
 			}
 			for shards := 1; shards <= fixtureShards; shards++ {
 				run, err := pacifier.Record(w,
-					pacifier.Options{Seed: seed, Atomic: true, Shards: shards}, modes...)
+					pacifier.Options{Seed: seed, Atomic: true, Shards: shards,
+						ProfileCycles: true}, modes...)
 				if err != nil {
 					t.Fatalf("%s seed %d shards %d: %v", app, seed, shards, err)
+				}
+				key := fmt.Sprintf("%s/s%d/prof", app, seed)
+				if h := profHash(t, run); golden[key] != h {
+					t.Errorf("%s shards %d: profiler attribution diverges from serial: %s -> %s",
+						key, shards, golden[key], h)
 				}
 				for _, mode := range modes {
 					blob, err := run.EncodedLog(mode)

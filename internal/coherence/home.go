@@ -5,6 +5,7 @@ import (
 
 	"pacifier/internal/cache"
 	"pacifier/internal/noc"
+	"pacifier/internal/prof"
 	"pacifier/internal/sim"
 )
 
@@ -57,7 +58,8 @@ type queuedReq struct {
 	kind    uint8
 	from    noc.NodeID
 	sn      SN
-	data    []uint64 // PutM payload
+	at      sim.Cycle // enqueue time, for queue-wait attribution
+	data    []uint64  // PutM payload
 	dirty   bool
 	hasRead bool
 	rd      AccessRef
@@ -96,6 +98,10 @@ type home struct {
 	busyCount int
 
 	cL2Hits, cL2Misses *sim.Counter
+
+	// Cycle accounting (nil when disabled): attributes L2/memory
+	// occupancy and busy-line queue waits to this bank's tile.
+	lat *prof.Lat
 }
 
 func newHome(sys *System, id noc.NodeID) *home {
@@ -165,13 +171,17 @@ func (h *home) inc(cp **sim.Counter, name string) {
 // accessLat charges the L2 data-array access: hit pays L2Lat, miss pays
 // the memory round trip and fills the array.
 func (h *home) accessLat(l cache.Line) sim.Cycle {
+	var lat sim.Cycle
 	if h.l2.LookupTouch(l) != cache.Invalid {
 		h.inc(&h.cL2Hits, "l2.hits")
-		return h.sys.cfg.L2Lat
+		lat = h.sys.cfg.L2Lat
+	} else {
+		h.l2.Insert(l, cache.Shared)
+		h.inc(&h.cL2Misses, "l2.misses")
+		lat = h.sys.cfg.L2Lat + h.sys.cfg.MemLat
 	}
-	h.l2.Insert(l, cache.Shared)
-	h.inc(&h.cL2Misses, "l2.misses")
-	return h.sys.cfg.L2Lat + h.sys.cfg.MemLat
+	h.lat.Add(h.port.stats, prof.Home, int64(lat))
+	return lat
 }
 
 // begin blocks the line for a new transaction.
@@ -210,6 +220,7 @@ func (h *home) maybeFinish(s *homeLine, t *txn) {
 		n := copy(s.q, s.q[1:])
 		s.q[n] = queuedReq{} // release the payload reference
 		s.q = s.q[:n]
+		h.lat.Add(h.port.stats, prof.Home, int64(h.port.eng.Now()-next.at))
 		h.serve(s, &next)
 	}
 }
@@ -235,7 +246,7 @@ func (h *home) serve(s *homeLine, r *queuedReq) {
 func (h *home) onGetS(l cache.Line, req noc.NodeID, reqSN SN) {
 	s := h.slot(l)
 	if s.txn != nil {
-		s.q = append(s.q, queuedReq{kind: qGetS, from: req, sn: reqSN})
+		s.q = append(s.q, queuedReq{kind: qGetS, from: req, sn: reqSN, at: h.port.eng.Now()})
 		return
 	}
 	h.serveGetS(s, req, reqSN)
@@ -290,7 +301,7 @@ func (h *home) serveGetS(s *homeLine, req noc.NodeID, reqSN SN) {
 func (h *home) onGetM(l cache.Line, req noc.NodeID, reqSN SN) {
 	s := h.slot(l)
 	if s.txn != nil {
-		s.q = append(s.q, queuedReq{kind: qGetM, from: req, sn: reqSN})
+		s.q = append(s.q, queuedReq{kind: qGetM, from: req, sn: reqSN, at: h.port.eng.Now()})
 		return
 	}
 	h.serveGetM(s, req, reqSN)
@@ -400,7 +411,8 @@ func (h *home) onPutM(l cache.Line, from noc.NodeID, data []uint64, dirty bool,
 	s := h.slot(l)
 	if s.txn != nil {
 		s.q = append(s.q, queuedReq{kind: qPutM, from: from, data: data, dirty: dirty,
-			hasRead: hasRead, rd: rd, rdSnap: rdSnap, lwValid: lwValid, lwSN: lwSN})
+			hasRead: hasRead, rd: rd, rdSnap: rdSnap, lwValid: lwValid, lwSN: lwSN,
+			at: h.port.eng.Now()})
 		return
 	}
 	h.servePutM(s, from, data, dirty, hasRead, rd, rdSnap, lwValid, lwSN)

@@ -5,6 +5,7 @@ import (
 
 	"pacifier/internal/cache"
 	"pacifier/internal/noc"
+	"pacifier/internal/prof"
 	"pacifier/internal/sim"
 )
 
@@ -57,6 +58,7 @@ type rmwWaiter struct {
 type mshr struct {
 	line   cache.Line
 	wantM  bool
+	start  sim.Cycle // allocation time, for miss-service attribution
 	loads  []loadWaiter
 	stores []storeWaiter
 	rmws   []rmwWaiter
@@ -246,6 +248,10 @@ type L1 struct {
 	cRMWHits, cRMWMisses     *sim.Counter
 	cStaleFills, cWritebacks *sim.Counter
 	cValueLogs, cReleases    *sim.Counter
+
+	// Cycle accounting (nil when disabled): attributes L1 hit service,
+	// MSHR residency and pending-write epochs to this tile.
+	lat *prof.Lat
 }
 
 func newL1(sys *System, id noc.NodeID) *L1 {
@@ -313,19 +319,23 @@ func (c *L1) newMSHR(l cache.Line) *mshr {
 		ms.line = l
 		ms.wantM = false
 		ms.staleInv = false
+		ms.start = c.port.eng.Now()
 		ms.loads = ms.loads[:0]
 		ms.stores = ms.stores[:0]
 		ms.rmws = ms.rmws[:0]
 		return ms
 	}
-	return &mshr{line: l}
+	return &mshr{line: l, start: c.port.eng.Now()}
 }
 
-// retireMSHR detaches the slot's MSHR and recycles it.
+// retireMSHR detaches the slot's MSHR and recycles it. The MSHR's whole
+// residency (request to fill, including any upgrade leg) is the miss
+// service time.
 func (c *L1) retireMSHR(s *l1Line) {
 	ms := s.mshr
 	s.mshr = nil
 	c.nMSHR--
+	c.lat.Add(c.port.stats, prof.L1Miss, int64(c.port.eng.Now()-ms.start))
 	c.mshrFree = append(c.mshrFree, ms)
 }
 
@@ -399,6 +409,7 @@ func (c *L1) Load(a Addr, sn SN, done LoadDone) {
 		c.noteRead(s, sn)
 		c.deliverLineDeps(s, sn, false)
 		c.inc(&c.cLoadHits, "l1.load_hits")
+		c.lat.Add(c.port.stats, prof.L1Hit, int64(c.sys.cfg.L1HitLat))
 		rp := c.getReply()
 		rp.kind, rp.sn, rp.v, rp.ldone = rLoad, sn, v, done
 		c.port.eng.After(c.sys.cfg.L1HitLat, rp.fn)
@@ -438,6 +449,7 @@ func (c *L1) Store(a Addr, val uint64, sn SN, local StoreLocal, done StoreDone) 
 		c.deliverLineDeps(s, sn, true)
 		s.epochStores = append(s.epochStores, sn)
 		c.inc(&c.cStoreHits, "l1.store_hits")
+		c.lat.Add(c.port.stats, prof.L1Hit, int64(c.sys.cfg.L1HitLat))
 		rp := c.getReply()
 		rp.sn, rp.local = sn, local
 		if tr := incompleteTracker(s); tr != nil {
@@ -487,6 +499,7 @@ func (c *L1) RMW(a Addr, sn SN, update func(old uint64) (uint64, bool), done RMW
 		c.deliverLineDeps(s, sn, true)
 		s.epochStores = append(s.epochStores, sn)
 		c.inc(&c.cRMWHits, "l1.rmw_hits")
+		c.lat.Add(c.port.stats, prof.L1Hit, int64(c.sys.cfg.L1HitLat))
 		if tr := incompleteTracker(s); tr != nil {
 			tr.rmws = append(tr.rmws, rmwWaiter{a: a, sn: sn, done: done, old: old, applied: apply})
 			return
@@ -897,6 +910,7 @@ func (c *L1) maybeCompleteTracker(s *l1Line, tr *ackTracker) {
 	tr.finished = true
 	if tr.needed > 0 {
 		c.port.observeInvLatency(c.port.eng.Now() - tr.start)
+		c.lat.Add(c.port.stats, prof.PW, int64(c.port.eng.Now()-tr.start))
 	}
 	for _, sw := range tr.stores {
 		sw.done(sw.sn)

@@ -4,6 +4,7 @@ import (
 	"pacifier/internal/cache"
 	"pacifier/internal/noc"
 	"pacifier/internal/obs"
+	"pacifier/internal/prof"
 	"pacifier/internal/sim"
 	"pacifier/internal/telemetry"
 )
@@ -119,6 +120,22 @@ func (s *System) SetTracer(tr *obs.Tracer) {
 	s.tr = tr
 	for i := range s.ports {
 		s.ports[i].tr = tr
+	}
+}
+
+// SetProfile enables (or disables) per-tile cycle attribution. Each
+// tile's L1 and home bank get their own accumulator; counters bind
+// lazily against the port's stats registry, so enabling before or after
+// SetSharding both work (the registry is re-resolved on change).
+func (s *System) SetProfile(on bool) {
+	for i := range s.l1s {
+		if on {
+			s.l1s[i].lat = prof.NewLat(i)
+			s.homes[i].lat = prof.NewLat(i)
+		} else {
+			s.l1s[i].lat = nil
+			s.homes[i].lat = nil
+		}
 	}
 }
 

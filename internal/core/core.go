@@ -13,10 +13,12 @@ import (
 	"pacifier/internal/cpu"
 	"pacifier/internal/machine"
 	"pacifier/internal/obs"
+	"pacifier/internal/prof"
 	"pacifier/internal/record"
 	"pacifier/internal/relog"
 	"pacifier/internal/replay"
 	"pacifier/internal/sim"
+	"pacifier/internal/telemetry"
 	"pacifier/internal/trace"
 )
 
@@ -33,6 +35,11 @@ type Options struct {
 	// with that many shards (0 = classic serial engine). Results are
 	// bit-identical at every shard count.
 	Shards int
+	// ProfileCycles enables the cycle-accounting profiler: every layer
+	// of the machine and every recorder attributes stall and service
+	// cycles to prof.* counters in the run's stats registry (see
+	// internal/prof). Totals are byte-identical serial and sharded.
+	ProfileCycles bool
 }
 
 // DefaultOptions returns the evaluation configuration of Section 6.1.
@@ -47,6 +54,11 @@ type Recording struct {
 	LogStats relog.Stats
 	LHBMax   int
 	PWMax    int
+	// ProfCycles is the measured recorder-induced cycle total (0 unless
+	// Options.ProfileCycles was set): per-event costs accumulated at the
+	// live recorder event sites, including squashes the end-of-run cost
+	// model never sees.
+	ProfCycles int64
 }
 
 // RunResult is one recorded execution with one or more recordings.
@@ -58,6 +70,10 @@ type RunResult struct {
 	Records      [][]cpu.ExecRecord
 	Recordings   []*Recording
 	Stats        *sim.Stats
+	// Profiled records whether the run was made with ProfileCycles; the
+	// replay entry points propagate it so replays of a profiled run
+	// produce a replay-side attribution report (replay.Result.Prof).
+	Profiled bool
 }
 
 // Recording returns the recording for the given mode (nil if absent).
@@ -82,6 +98,7 @@ func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, 
 	mcfg.Mem.Atomic = opts.Atomic
 	mcfg.Tracer = opts.Tracer
 	mcfg.Shards = opts.Shards
+	mcfg.Profile = opts.ProfileCycles
 	if opts.Shards > 0 {
 		// The sharded machine defers observer calls to window barriers,
 		// so pending-window queries (which steer the protocol) are
@@ -104,6 +121,7 @@ func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, 
 			rcfg.MaxChunkOps = opts.MaxChunkOps
 		}
 		rcfg.Tracer = opts.Tracer
+		rcfg.Profile = opts.ProfileCycles
 		recs[i] = record.NewRecorder(rcfg, m.Clock(), m.Stats)
 	}
 	fo.recs = recs
@@ -123,6 +141,7 @@ func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, 
 		NativeCycles: m.Cycles(),
 		MemOps:       m.TotalMemOps(),
 		Stats:        m.Stats,
+		Profiled:     opts.ProfileCycles,
 	}
 	for pid := 0; pid < n; pid++ {
 		rr.Records = append(rr.Records, m.Records(pid))
@@ -130,14 +149,44 @@ func Record(w *trace.Workload, opts Options, modes ...record.Mode) (*RunResult, 
 	for i, mode := range modes {
 		log := recs[i].Finish()
 		rr.Recordings = append(rr.Recordings, &Recording{
-			Mode:     mode,
-			Log:      log,
-			LogStats: log.ComputeStats(),
-			LHBMax:   recs[i].MaxLHBAcrossCores(),
-			PWMax:    maxPW(recs[i], n),
+			Mode:       mode,
+			Log:        log,
+			LogStats:   log.ComputeStats(),
+			LHBMax:     recs[i].MaxLHBAcrossCores(),
+			PWMax:      maxPW(recs[i], n),
+			ProfCycles: recs[i].ProfiledCycles(),
 		})
 	}
+	if opts.ProfileCycles {
+		publishProfTelemetry(rr.Stats)
+	}
 	return rr, nil
+}
+
+// ProfReport decodes the run's prof.* counters into a per-core,
+// per-layer cycle breakdown. Empty unless Options.ProfileCycles was set.
+func (rr *RunResult) ProfReport() *prof.Report { return prof.FromStats(rr.Stats) }
+
+// MeasuredRecordSlowdown returns the measured record-phase slowdown of
+// one recording as a fraction (0.02 = 2%): the recorder's live
+// attributed stall cycles over the native execution cycles. The modeled
+// counterpart is record.RecordSlowdown.
+func (rr *RunResult) MeasuredRecordSlowdown(rec *Recording) float64 {
+	if rr.NativeCycles == 0 {
+		return 0
+	}
+	return float64(rec.ProfCycles) / float64(rr.NativeCycles)
+}
+
+// publishProfTelemetry exports per-component machine-wide totals as the
+// pacifier_prof_cycles_total{component=...} telemetry family.
+func publishProfTelemetry(st *sim.Stats) {
+	rep := prof.FromStats(st)
+	for _, c := range prof.Components() {
+		telemetry.C("pacifier_prof_cycles_total",
+			"Attributed stall/service cycles by component (cycle-accounting profiler).",
+			telemetry.Label{Key: "component", Value: c.String()}).Add(rep.Total[c])
+	}
 }
 
 func maxPW(r *record.Recorder, n int) int {
@@ -165,7 +214,7 @@ func ReplayTraced(rr *RunResult, mode record.Mode, scanSeed uint64, tr *obs.Trac
 		return nil, fmt.Errorf("core: no recording for mode %v", mode)
 	}
 	return replay.Run(rec.Log, rr.Workload, rr.Records,
-		replay.Config{ScanSeed: scanSeed, Tracer: tr, Stats: rr.Stats})
+		replay.Config{ScanSeed: scanSeed, Tracer: tr, Stats: rr.Stats, Profile: rr.Profiled})
 }
 
 // ReplayExternal replays an externally supplied (decoded) log against
@@ -190,7 +239,7 @@ func ReplayExternal(rr *RunResult, log *relog.Log, mode record.Mode,
 		}
 	}
 	return replay.Run(log, rr.Workload, rr.Records,
-		replay.Config{Tracer: tr, Stats: rr.Stats})
+		replay.Config{Tracer: tr, Stats: rr.Stats, Profile: rr.Profiled})
 }
 
 // Slowdown returns the replay slowdown versus native execution for a

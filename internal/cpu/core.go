@@ -5,6 +5,7 @@ import (
 
 	"pacifier/internal/coherence"
 	"pacifier/internal/obs"
+	"pacifier/internal/prof"
 	"pacifier/internal/sim"
 	"pacifier/internal/trace"
 )
@@ -135,6 +136,11 @@ type Core struct {
 	// buffered store is assigned at retire.
 	tr          *obs.Tracer
 	hDrainDelay *sim.Histogram
+
+	// Cycle accounting (nil when disabled): lat attributes SB-full
+	// retire stalls and barrier waits into stats.
+	lat   *prof.Lat
+	stats *sim.Stats
 }
 
 // Instrument attaches the observability hooks: the drain-delay
@@ -142,8 +148,19 @@ type Core struct {
 // (nil = tracing off; the hot paths then cost one nil compare).
 func (c *Core) Instrument(stats *sim.Stats, tr *obs.Tracer) {
 	c.tr = tr
+	c.stats = stats
 	if stats != nil {
 		c.hDrainDelay = stats.Histogram("cpu.sb_drain_delay")
+	}
+}
+
+// SetProfile enables (or disables) per-component cycle attribution for
+// this core. Requires Instrument to have provided a stats registry.
+func (c *Core) SetProfile(on bool) {
+	if on {
+		c.lat = prof.NewLat(c.pid)
+	} else {
+		c.lat = nil
 	}
 }
 
@@ -256,6 +273,7 @@ func (c *Core) dispatch(now sim.Cycle) {
 			id := op.ID
 			c.hub.Arrive(id, func() {
 				c.atBarrier = false
+				c.lat.Add(c.stats, prof.Barrier, int64(c.eng.Now()-c.barrierFrom))
 				c.obs.OnIdle(c.pid, int64(c.eng.Now()-c.barrierFrom))
 			})
 			return
@@ -445,7 +463,10 @@ func (c *Core) retire(now sim.Cycle) {
 			}
 		case trace.Write, trace.Release:
 			if c.sbLen >= c.cfg.SBSize {
-				return // SB full: stall retirement
+				// SB full: retirement stalls this cycle (retire runs once
+				// per cycle, so the blocked attempt is worth one cycle).
+				c.lat.Add(c.stats, prof.SBFull, 1)
+				return
 			}
 			delay := sim.Cycle(0)
 			if c.cfg.SBDelayMax > 0 {

@@ -43,6 +43,7 @@ var csvHeader = []string{
 	"chunks", "d_entries", "p_entries", "v_entries", "pred_edges",
 	"base_bytes", "total_bytes", "overhead_vs_karma", "lhb_max",
 	"ops_replayed", "mismatches", "order_breaks", "deterministic", "slowdown",
+	"record_slowdown", "measured_record_slowdown",
 }
 
 // WriteCSV flattens the result set to one row per (job, mode), in
@@ -71,6 +72,7 @@ func WriteCSV(w io.Writer, results []*Result) error {
 				strconv.FormatInt(m.BaseBytes, 10), strconv.FormatInt(m.TotalBytes, 10),
 				"", strconv.Itoa(m.LHBMax),
 				"", "", "", "", "",
+				strconv.FormatFloat(m.RecordSlowdown, 'g', -1, 64), "",
 			}
 			if m.HasOverhead {
 				row[18] = strconv.FormatFloat(m.OverheadVsKarma, 'g', -1, 64)
@@ -81,6 +83,9 @@ func WriteCSV(w io.Writer, results []*Result) error {
 				row[22] = strconv.FormatInt(m.Replay.OrderBreaks, 10)
 				row[23] = strconv.FormatBool(m.Replay.Deterministic)
 				row[24] = strconv.FormatFloat(m.Replay.Slowdown, 'g', -1, 64)
+			}
+			if m.HasMeasured {
+				row[26] = strconv.FormatFloat(m.MeasuredRecordSlowdown, 'g', -1, 64)
 			}
 			if err := cw.Write(row); err != nil {
 				return err
@@ -264,17 +269,20 @@ func FigureTables(w io.Writer, results []*Result, fig int) {
 
 // ParetoTable renders the strategy Pareto study (Figure 14): per
 // recorder mode, log bytes per 1k memory operations against the modeled
-// record slowdown and the measured replay slowdown — for the raw log
-// and, on jobs recorded with Compress, the compressed log. Rows follow
-// the mode enum order; modes absent from the result set are skipped, so
-// the table degrades gracefully on partial sweeps. Columns with no
-// backing data (no compression, no replay) render as "-".
+// record slowdown, the measured record slowdown (the cycle-accounting
+// profiler's live attribution, on jobs run with ProfileCycles), and the
+// measured replay slowdown — for the raw log and, on jobs recorded with
+// Compress, the compressed log. Rows follow the mode enum order; modes
+// absent from the result set are skipped, so the table degrades
+// gracefully on partial sweeps. Columns with no backing data (no
+// profiling, no compression, no replay) render as "-".
 func ParetoTable(w io.Writer, results []*Result) {
 	type acc struct {
 		bytes, compBytes, memOps int64
 		recSum, recCompSum       float64
+		measSum                  float64
 		repSum                   float64
-		n, nComp, nRep           int
+		n, nComp, nMeas, nRep    int
 	}
 	accs := map[string]*acc{}
 	for _, r := range results {
@@ -289,6 +297,10 @@ func ParetoTable(w io.Writer, results []*Result) {
 			a.memOps += r.MemOps
 			a.recSum += m.RecordSlowdown
 			a.n++
+			if m.HasMeasured {
+				a.measSum += m.MeasuredRecordSlowdown
+				a.nMeas++
+			}
 			if m.CompressedBytes > 0 {
 				a.compBytes += m.CompressedBytes
 				a.recCompSum += m.RecordSlowdownCompressed
@@ -306,8 +318,8 @@ func ParetoTable(w io.Writer, results []*Result) {
 
 	title := "Figure 14: strategy Pareto (log bytes vs record/replay slowdown)"
 	fmt.Fprintf(w, "\n%s\n%s\n", title, strings.Repeat("=", len(title)))
-	fmt.Fprintf(w, "%-8s  %10s %8s  %10s %8s %6s  %8s\n",
-		"mode", "B/kop", "record%", "comp/kop", "c-rec%", "ratio", "replay%")
+	fmt.Fprintf(w, "%-8s  %10s %8s %8s  %10s %8s %6s  %8s\n",
+		"mode", "B/kop", "record%", "meas%", "comp/kop", "c-rec%", "ratio", "replay%")
 	perKop := func(bytes, memOps int64) float64 {
 		if memOps == 0 {
 			return 0
@@ -321,6 +333,11 @@ func ParetoTable(w io.Writer, results []*Result) {
 		}
 		fmt.Fprintf(w, "%-8s  %10.1f %7.2f%%", mode,
 			perKop(a.bytes, a.memOps), a.recSum/float64(a.n)*100)
+		if a.nMeas > 0 {
+			fmt.Fprintf(w, " %7.2f%%", a.measSum/float64(a.nMeas)*100)
+		} else {
+			fmt.Fprintf(w, " %8s", "-")
+		}
 		if a.nComp > 0 {
 			fmt.Fprintf(w, "  %10.1f %7.2f%% %6.2f",
 				perKop(a.compBytes, a.memOps), a.recCompSum/float64(a.nComp)*100,

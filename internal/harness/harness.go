@@ -92,6 +92,11 @@ type JobSpec struct {
 	// gauges, histograms) to the Result. Part of the spec hash: a
 	// metrics-bearing result and a plain one are different artifacts.
 	CaptureMetrics bool `json:"capture_metrics,omitempty"`
+	// ProfileCycles runs the job under the cycle-accounting profiler and
+	// reports each mode's measured record slowdown next to the modeled
+	// one. Omitempty keeps pre-existing spec hashes stable for
+	// profiling-off jobs.
+	ProfileCycles bool `json:"profile_cycles,omitempty"`
 }
 
 // Hash returns the spec's content hash — a hex SHA-256 over the
@@ -147,6 +152,12 @@ type ModeResult struct {
 	// native cycles; see record.RecordSlowdown). Omitempty keeps results
 	// from older cached runs decoding unchanged.
 	RecordSlowdown float64 `json:"record_slowdown,omitempty"`
+	// MeasuredRecordSlowdown is the measured record-phase slowdown —
+	// recorder stall cycles attributed live by the cycle-accounting
+	// profiler over native cycles. Present only when the spec set
+	// ProfileCycles; HasMeasured distinguishes a genuine zero.
+	MeasuredRecordSlowdown float64 `json:"measured_record_slowdown,omitempty"`
+	HasMeasured            bool    `json:"has_measured,omitempty"`
 	// CompressedBytes / RecordSlowdownCompressed are present only when
 	// the spec set Compress: the block-compressed log size and the
 	// modeled slowdown with the compression engine on the drain path.

@@ -90,6 +90,7 @@ func executeWith(spec JobSpec, tr *obs.Tracer, traceDir string) (*Result, error)
 	copts.Atomic = spec.Atomic
 	copts.Tracer = tr
 	copts.Shards = spec.Shards
+	copts.ProfileCycles = spec.ProfileCycles
 	if spec.MaxChunkOps > 0 {
 		copts.MaxChunkOps = spec.MaxChunkOps
 	}
@@ -126,6 +127,10 @@ func executeWith(spec JobSpec, tr *obs.Tracer, traceDir string) (*Result, error)
 			mr.HasOverhead = true
 		}
 		mr.RecordSlowdown = record.RecordSlowdown(rec.LogStats, rec.LogStats.TotalBytes, res.NativeCycles)
+		if spec.ProfileCycles {
+			mr.MeasuredRecordSlowdown = rr.MeasuredRecordSlowdown(rec)
+			mr.HasMeasured = true
+		}
 		if spec.Compress {
 			blob := relog.Compress(relog.EncodeLog(rec.Log))
 			mr.CompressedBytes = int64(len(blob))

@@ -59,6 +59,10 @@ type Config struct {
 	// machine (see PWProbe). Ignored in serial mode; nil means every
 	// query answers "no performed load" (matching NopObserver).
 	LivePW PWProbe
+	// Profile enables cycle accounting: every layer attributes stall and
+	// service cycles to named prof.* counters (see internal/prof). Off,
+	// the hot paths pay one nil compare each.
+	Profile bool
 }
 
 // DefaultConfig returns the Table 4 machine for n cores.
@@ -118,6 +122,10 @@ func New(cfg Config, w *trace.Workload, obs Observer) (*Machine, error) {
 	mesh.SetTracer(cfg.Tracer)
 	sys := coherence.NewSystem(eng, mesh, cfg.Mem, stats, obs)
 	sys.SetTracer(cfg.Tracer)
+	if cfg.Profile {
+		mesh.SetProfile(true)
+		sys.SetProfile(true)
+	}
 	hub := cpu.NewBarrierHub(cfg.Cores)
 	root := sim.NewRNG(cfg.Seed)
 	m := &Machine{
@@ -133,6 +141,7 @@ func New(cfg Config, w *trace.Workload, obs Observer) (*Machine, error) {
 		core := cpu.NewCore(pid, cfg.CPU, eng, sys.L1(pid), w.Threads[pid],
 			hub, obs, root.SplitLabeled(uint64(pid)+0x9000))
 		core.Instrument(stats, cfg.Tracer)
+		core.SetProfile(cfg.Profile)
 		m.Cores = append(m.Cores, core)
 		eng.Register(core)
 	}

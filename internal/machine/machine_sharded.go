@@ -442,6 +442,10 @@ func newSharded(cfg Config, w *trace.Workload, real Observer) (*Machine, error) 
 	mesh.SetSharding(group, ss.engOf, statsOfTile, trOfTile)
 	sys := coherence.NewSystem(group.Engine(0), mesh, cfg.Mem, mainStats, nil)
 	sys.SetSharding(ss.shardOf, ss.engOf, obsOfTile, statsOfTile, trOfTile)
+	if cfg.Profile {
+		mesh.SetProfile(true)
+		sys.SetProfile(true)
+	}
 
 	root := sim.NewRNG(cfg.Seed)
 	m := &Machine{
@@ -474,6 +478,7 @@ func newSharded(cfg Config, w *trace.Workload, real Observer) (*Machine, error) 
 			tr = trSh[s]
 		}
 		core.Instrument(ss.stats[s], tr)
+		core.SetProfile(cfg.Profile)
 		m.Cores = append(m.Cores, core)
 		ss.engOf[pid].RegisterPID(core, pid)
 	}

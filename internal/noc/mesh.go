@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"pacifier/internal/obs"
+	"pacifier/internal/prof"
 	"pacifier/internal/sim"
 	"pacifier/internal/telemetry"
 )
@@ -72,6 +73,22 @@ type Mesh struct {
 	group   *sim.ShardGroup
 	engOf   []*sim.Engine
 	perNode []meshNodeState
+
+	// Cycle accounting (nil when disabled): one accumulator per sending
+	// node, charging each message's full mesh latency to its source tile.
+	lat []*prof.Lat
+}
+
+// SetProfile enables (or disables) per-message cycle attribution.
+func (m *Mesh) SetProfile(on bool) {
+	if !on {
+		m.lat = nil
+		return
+	}
+	m.lat = make([]*prof.Lat, m.cfg.Nodes)
+	for i := range m.lat {
+		m.lat[i] = prof.NewLat(i)
+	}
 }
 
 // meshNodeState is the shard-owned per-node slice of Send's side
@@ -202,6 +219,9 @@ func (m *Mesh) Send(src, dst NodeID, flits int, fn func()) {
 		arrive = prev + 1
 	}
 	m.lastArrival[src][dst] = arrive
+	if m.lat != nil {
+		m.lat[src].Add(m.stats, prof.NoC, int64(m.Latency(src, dst, flits)))
+	}
 	if m.stats != nil {
 		if m.cMessages == nil {
 			m.cMessages = m.stats.Counter("noc.messages")
@@ -239,6 +259,9 @@ func (m *Mesh) sendSharded(src, dst NodeID, flits int, fn func()) {
 	}
 	m.lastArrival[src][dst] = arrive
 	ns := &m.perNode[src]
+	if m.lat != nil {
+		m.lat[src].Add(ns.stats, prof.NoC, int64(m.Latency(src, dst, flits)))
+	}
 	if ns.stats != nil {
 		ns.cMessages.Value++
 		ns.cFlits.Value += int64(flits)

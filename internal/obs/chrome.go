@@ -27,6 +27,16 @@ func mesiName(v int64) string {
 	return strconv.FormatInt(v, 10)
 }
 
+// CounterSample is one point on a Perfetto counter track ("ph":"C"):
+// track Name on core Core, value Value at cycle At. The cycle-accounting
+// profiler emits one track per attribution component.
+type CounterSample struct {
+	Name  string
+	Core  int32
+	At    int64
+	Value int64
+}
+
 // ChromeTrace renders events as Chrome trace-event JSON (the
 // "traceEvents" object form) that Perfetto and chrome://tracing load
 // directly. One process per Side (record = pid 0, replay = pid 1), one
@@ -37,6 +47,15 @@ func mesiName(v int64) string {
 // The output is built without map iteration and contains no wall-clock
 // data, so identical event streams render byte-identically.
 func ChromeTrace(events []Event, modeNames []string) []byte {
+	return ChromeTraceWithCounters(events, modeNames, nil)
+}
+
+// ChromeTraceWithCounters is ChromeTrace with counter tracks appended:
+// each sample renders as a "ph":"C" event on the record process, named
+// after the sample and carrying its value under the "cycles" key.
+// Samples render in the order given, so deterministic inputs render
+// byte-identically.
+func ChromeTraceWithCounters(events []Event, modeNames []string, counters []CounterSample) []byte {
 	var b bytes.Buffer
 	b.WriteString(`{"schemaVersion":`)
 	b.WriteString(strconv.Itoa(ChromeSchemaVersion))
@@ -93,6 +112,13 @@ func ChromeTrace(events []Event, modeNames []string) []byte {
 	for _, e := range events {
 		e := e
 		emit(func(b *bytes.Buffer) { writeChromeEvent(b, e, modeNames) })
+	}
+	for _, c := range counters {
+		c := c
+		emit(func(b *bytes.Buffer) {
+			fmt.Fprintf(b, `{"name":%q,"cat":"prof","ph":"C","pid":%d,"tid":%d,"ts":%d,"args":{"cycles":%d}}`,
+				c.Name, SideRecord, c.Core, c.At, c.Value)
+		})
 	}
 	b.WriteString("\n]}\n")
 	return b.Bytes()

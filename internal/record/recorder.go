@@ -16,6 +16,7 @@ import (
 	"pacifier/internal/cache"
 	"pacifier/internal/coherence"
 	"pacifier/internal/obs"
+	"pacifier/internal/prof"
 	"pacifier/internal/relog"
 	"pacifier/internal/scvd"
 	"pacifier/internal/sim"
@@ -37,6 +38,11 @@ type Config struct {
 	LHBSize int
 	// Tracer, when non-nil, receives chunk and SCV-detector events.
 	Tracer *obs.Tracer
+	// Profile enables measured recorder-overhead accounting: every live
+	// logging event (chunk commit, log entry, squash) charges its modeled
+	// per-event cost to a prof.* counter as it happens. Off, the paths
+	// pay one nil compare each.
+	Profile bool
 }
 
 // DefaultConfig returns the paper's recording parameters.
@@ -77,6 +83,10 @@ type Recorder struct {
 	trMode int8
 	hChunk *sim.Histogram
 
+	// lat, when non-nil, accumulates measured recorder-induced cycles
+	// (per-event costs charged at the live event sites).
+	lat *prof.RecLat
+
 	// Live telemetry handles (mode-labeled), resolved once at
 	// construction; nil (one compare per emit, zero allocations) while
 	// telemetry is disabled.
@@ -109,6 +119,9 @@ func NewRecorder(cfg Config, eng sim.Clock, stats *sim.Stats) *Recorder {
 	r := &Recorder{cfg: cfg, strat: strategyFor(cfg.Mode), eng: eng, log: relog.NewLog(cfg.Cores), stats: stats}
 	r.tr = cfg.Tracer
 	r.trMode = int8(cfg.Mode)
+	if cfg.Profile {
+		r.lat = prof.NewRecLat(stats, cfg.Cores, cfg.Mode.String())
+	}
 	if stats != nil {
 		r.hChunk = stats.Histogram("record.chunk_ops." + cfg.Mode.String())
 	}
@@ -328,6 +341,7 @@ func (r *Recorder) emit(pid int, c *chunkState) {
 	if dur < 0 {
 		dur = 0
 	}
+	r.lat.Add(pid, CostChunkCommit)
 	if r.hChunk != nil {
 		r.hChunk.Observe(int64(c.endSN - c.startSN + 1))
 	}
@@ -599,6 +613,7 @@ func (r *Recorder) cyclicTermination(pid int, d coherence.Dependence,
 		cs.cc.ts = maxI64(cs.cc.ts, srcTS+1)
 		cs.cc.addPred(srcRef)
 		r.inc(&r.cDegenerate, "record.degenerate_moves")
+		r.lat.Add(pid, CostChunkCommit)
 		if r.tr != nil {
 			r.tr.ChunkSquash(r.trMode, pid, cs.cc.cid, int64(r.now()), int64(dinst))
 		}
@@ -642,6 +657,7 @@ func (r *Recorder) forceClose(pid int, b SN) {
 	cc.end = r.now()
 	cs.lhb = append(cs.lhb, cc)
 	cs.meta = append(cs.meta, chunkMeta{cid: cc.cid, startSN: cc.startSN, endSN: b, ts: cc.ts})
+	r.lat.Add(pid, CostChunkCommit)
 	if r.tr != nil {
 		// An empty forced close is a squashed chunk: it carries only
 		// promised P_set/VLog state, no retired operations.
@@ -783,6 +799,7 @@ func (r *Recorder) finalizeDelayed(pid int, sn SN, e *pwEntry, st *stagedDelayed
 		}
 		delete(cs.preCarrier, sn)
 		carrier.pset = append(carrier.pset, relog.PEntry{SrcCID: ch.cid, Offset: offset})
+		r.lat.Add(pid, CostLogEntry)
 		cs.delayedSrc[sn] = relog.ChunkRef{PID: pid, CID: carrier.cid}
 		// Loads that forwarded from this (now delayed) store must replay
 		// from the log: memory will not hold the value yet.
@@ -796,6 +813,7 @@ func (r *Recorder) finalizeDelayed(pid int, sn SN, e *pwEntry, st *stagedDelayed
 	}
 	ch.dindex[offset] = len(ch.dset)
 	ch.dset = append(ch.dset, entry)
+	r.lat.Add(pid, CostLogEntry)
 	r.inc(&r.cDsetEntries, "record.dset_entries")
 	r.tmDset.Add(1)
 }
@@ -851,6 +869,7 @@ func (r *Recorder) addVLog(pid int, sn SN, val uint64) {
 		return
 	}
 	cs.vlogged[sn] = struct{}{}
+	r.lat.Add(pid, CostLogEntry)
 	r.inc(&r.cVlogEntries, "record.vlog_entries")
 	r.tmVlog.Add(1)
 	ch := r.chunkStateOf(cs, sn)
@@ -924,6 +943,12 @@ func (r *Recorder) MaxLHBAcrossCores() int {
 
 // PWMax returns core pid's PW occupancy high watermark.
 func (r *Recorder) PWMax(pid int) int { return r.cores[pid].pw.MaxOcc() }
+
+// ProfiledCycles returns the measured recorder-induced cycles attributed
+// so far (0 unless Config.Profile was set). Unlike the end-of-run cost
+// model, this counts every live event, including squashed chunks and
+// degenerate moves.
+func (r *Recorder) ProfiledCycles() int64 { return r.lat.Total() }
 
 func maxSN(a, b SN) SN {
 	if a > b {

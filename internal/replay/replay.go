@@ -24,6 +24,7 @@ import (
 	"pacifier/internal/cpu"
 	"pacifier/internal/noc"
 	"pacifier/internal/obs"
+	"pacifier/internal/prof"
 	"pacifier/internal/relog"
 	"pacifier/internal/sim"
 	"pacifier/internal/telemetry"
@@ -90,6 +91,12 @@ type Result struct {
 	ChunksReplayed int64
 	// StallCycles is the summed wake-up waiting time across cores.
 	StallCycles int64
+	// Prof is the replay-side cycle attribution (Config.Profile): each
+	// chunk's start delay split into the mesh wake-up latency (NoC) and
+	// the residual dependence wait (Barrier), accumulated per core up to
+	// the first divergence — the record-vs-replay delta the divergence
+	// explainer prints. Nil when profiling is off.
+	Prof *prof.Report
 	// Divergence pinpoints the first divergent event of the replay in
 	// execution order (nil when the replay was deterministic) — the
 	// explainer's anchor.
@@ -140,6 +147,10 @@ type Config struct {
 	Tracer *obs.Tracer
 	// Stats, when non-nil, collects the replay stall-cycle histogram.
 	Stats *sim.Stats
+	// Profile enables replay-side cycle attribution into Result.Prof.
+	// Replay uses a private registry so its prof.* counters never mix
+	// with the record side's in the shared Stats.
+	Profile bool
 }
 
 // ssbKey identifies a delayed store.
@@ -176,6 +187,10 @@ type replayer struct {
 	// Observability (nil when disabled).
 	tr     *obs.Tracer
 	hStall *sim.Histogram
+	// Cycle accounting (nil when disabled): private registry + per-core
+	// accumulators, decoded into Result.Prof at the end.
+	profStats *sim.Stats
+	lat       []*prof.Lat
 	// Live telemetry handles, resolved once at construction; nil (one
 	// compare per emit, zero allocations) while telemetry is disabled.
 	tmChunks, tmOps, tmMismatches *telemetry.Counter
@@ -317,10 +332,14 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 	wake := func(srcPID int) sim.Cycle {
 		return r.mesh.Latency(noc.NodeID(srcPID), noc.NodeID(c.PID), 1)
 	}
+	// wakePart remembers the mesh latency of whichever predecessor set
+	// startAt, so the stall can be attributed as network wake vs wait.
+	var wakePart sim.Cycle
 	for _, p := range c.Preds {
 		if end, ok := r.chunkEnd[p]; ok {
-			if t := end + wake(p.PID); t > startAt {
-				startAt = t
+			if wk := wake(p.PID); end+wk > startAt {
+				startAt = end + wk
+				wakePart = wk
 			}
 		}
 	}
@@ -328,8 +347,9 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 		if e, ok := r.ssb[ssbKey{c.PID, pe.SrcCID, pe.Offset}]; ok {
 			for _, p := range e.preds {
 				if end, ok2 := r.chunkEnd[p]; ok2 {
-					if t := end + wake(p.PID); t > startAt {
-						startAt = t
+					if wk := wake(p.PID); end+wk > startAt {
+						startAt = end + wk
+						wakePart = wk
 					}
 				}
 			}
@@ -337,6 +357,16 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 	}
 	stall := startAt - r.coreClock[c.PID]
 	r.res.StallCycles += int64(stall)
+	if r.lat != nil && r.res.Divergence == nil && stall > 0 {
+		// Attribution freezes at the first divergence, so the report
+		// describes the replay "up to the divergence point".
+		noc := wakePart
+		if noc > stall {
+			noc = stall
+		}
+		r.lat[c.PID].Add(r.profStats, prof.NoC, int64(noc))
+		r.lat[c.PID].Add(r.profStats, prof.Barrier, int64(stall-noc))
+	}
 	if r.hStall != nil {
 		r.hStall.Observe(int64(stall))
 	}
@@ -559,6 +589,13 @@ func RunWithMemory(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecor
 	if cfg.Stats != nil {
 		r.hStall = cfg.Stats.Histogram("replay.stall_cycles")
 	}
+	if cfg.Profile {
+		r.profStats = sim.NewStats()
+		r.lat = make([]*prof.Lat, log.Cores)
+		for pid := range r.lat {
+			r.lat[pid] = prof.NewLat(pid)
+		}
+	}
 	r.tmChunks = telemetry.C("pacifier_replay_chunks_total", "Chunks replayed.")
 	r.tmOps = telemetry.C("pacifier_replay_ops_total", "Operations replayed.")
 	r.tmMismatches = telemetry.C("pacifier_replay_mismatches_total", "Value mismatches observed during replay.")
@@ -590,6 +627,9 @@ func RunWithMemory(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecor
 		if c > r.res.Makespan {
 			r.res.Makespan = c
 		}
+	}
+	if r.profStats != nil {
+		r.res.Prof = prof.FromStats(r.profStats)
 	}
 	return r.res, FinalMemory(r.mem), nil
 }

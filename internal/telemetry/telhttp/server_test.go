@@ -3,6 +3,7 @@ package telhttp
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -198,6 +199,72 @@ func TestFleetStreamDeliversTransitionsInOrder(t *testing.T) {
 	}
 	if fe := events[len(events)-1]; !strings.Contains(fe.data, "boom") {
 		t.Errorf("failure update lacks error text: %s", fe.data)
+	}
+}
+
+// TestSlowSubscriberDropAccounting pins the fleet's slow-consumer
+// contract behind the SSE feed: a subscriber that never drains its
+// channel loses exactly the updates beyond its buffer — each counted in
+// pacifier_fleet_sse_dropped_total — while what it did receive, and the
+// full history replayed to any later subscriber (including one arriving
+// over HTTP after the drops), stays gap-free and in sequence order.
+func TestSlowSubscriberDropAccounting(t *testing.T) {
+	// The drop counter lives in the process-global registry and resolves
+	// at fleet construction, so enable telemetry before the fleet exists.
+	telemetry.Enable()
+	_, _, fleet, ts := newTestServer(t)
+	dropped := telemetry.C("pacifier_fleet_sse_dropped_total",
+		"SSE updates dropped on slow subscribers.")
+	before := dropped.Value()
+
+	// Never drained; the requested buffer of 1 clamps to history(0)+64.
+	slow, cancelSlow := fleet.Subscribe(1)
+	defer cancelSlow()
+
+	const jobs = 50 // 3 transitions each: 150 updates >> the slow buffer
+	for i := 0; i < jobs; i++ {
+		id := fleet.Add(fmt.Sprintf("job%d/p4", i), "h")
+		fleet.Start(id)
+		fleet.Finish(id, telemetry.StateDone, time.Millisecond, "")
+	}
+	total := int64(3 * jobs)
+
+	wantDrops := total - int64(cap(slow))
+	if wantDrops <= 0 {
+		t.Fatalf("test vacuous: %d updates fit the %d-slot buffer", total, cap(slow))
+	}
+	if got := dropped.Value() - before; got != wantDrops {
+		t.Fatalf("dropped counter advanced by %d, want %d", got, wantDrops)
+	}
+	// What the slow subscriber did get is the uninterrupted prefix.
+	for i := int64(1); i <= int64(cap(slow)); i++ {
+		u := <-slow
+		if u.Seq != i {
+			t.Fatalf("slow subscriber saw seq %d at position %d", u.Seq, i)
+		}
+	}
+
+	// Drops on one subscriber must not corrupt the history: a fresh SSE
+	// client connecting over HTTP after the fact replays all updates,
+	// in order, with no gaps.
+	resp, err := http.Get(ts.URL + "/api/fleet/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := readSSE(t, resp.Body, int(total))
+	for i, e := range events {
+		var u telemetry.JobUpdate
+		if err := json.Unmarshal([]byte(e.data), &u); err != nil {
+			t.Fatalf("bad event payload %q: %v", e.data, err)
+		}
+		if u.Seq != int64(i+1) {
+			t.Fatalf("replay after drops out of order: seq %d at position %d", u.Seq, i+1)
+		}
+	}
+	if got := dropped.Value() - before; got != wantDrops {
+		t.Fatalf("history replay itself dropped updates: counter moved %d -> %d",
+			wantDrops, got)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"pacifier/internal/core"
 	"pacifier/internal/obs"
+	"pacifier/internal/prof"
 	"pacifier/internal/record"
 	"pacifier/internal/relog"
 	"pacifier/internal/replay"
@@ -65,6 +66,28 @@ func WriteTraceFile(path string, tr *Tracer) error {
 // ValidateChromeTrace checks that data is well-formed trace-event JSON;
 // used by tests and the CI trace-smoke job.
 func ValidateChromeTrace(data []byte) error { return obs.ValidateChromeTrace(data) }
+
+// ChromeTraceWithCycles renders a tracer's events plus Perfetto counter
+// tracks ("prof.<component>" per core) carrying a profiled run's cycle
+// attribution, sampled at atCycle (normally the run's native cycles).
+func ChromeTraceWithCycles(tr *Tracer, rep *CycleReport, atCycle int64) []byte {
+	var samples []obs.CounterSample
+	for i := range rep.Cores {
+		cb := &rep.Cores[i]
+		for _, c := range prof.Components() {
+			if v := cb.Cycles[c]; v != 0 {
+				samples = append(samples, obs.CounterSample{
+					Name: "prof." + c.String(), Core: int32(cb.PID), At: atCycle, Value: v})
+			}
+		}
+	}
+	return obs.ChromeTraceWithCounters(tr.Events(), record.ModeNames(), samples)
+}
+
+// WriteTraceFileWithCycles writes ChromeTraceWithCycles atomically.
+func WriteTraceFileWithCycles(path string, tr *Tracer, rep *CycleReport, atCycle int64) error {
+	return obs.WriteFileAtomic(path, ChromeTraceWithCycles(tr, rep, atCycle))
+}
 
 // MetricsSnapshot is the versioned, deterministic export form of a
 // run's statistics (counters, gauges, log-scaled histograms).
@@ -237,6 +260,12 @@ type Options struct {
 	// 0 = classic serial engine. Results are bit-identical at every
 	// shard count.
 	Shards int
+	// ProfileCycles enables the cycle-accounting profiler: every layer
+	// (L1, directory homes, NoC, cores, recorders) attributes stall and
+	// service cycles to per-core prof.* counters in the run's metrics
+	// registry. Totals are byte-identical serial and at every shard
+	// count; disabled (the default) the hot paths pay one nil compare.
+	ProfileCycles bool
 }
 
 // Workload is a multiprocessor program for the simulated machine.
@@ -296,6 +325,7 @@ func Record(w *Workload, opts Options, modes ...Mode) (*Run, error) {
 	copts.Atomic = opts.Atomic
 	copts.Tracer = opts.Tracer
 	copts.Shards = opts.Shards
+	copts.ProfileCycles = opts.ProfileCycles
 	if opts.MaxChunkOps > 0 {
 		copts.MaxChunkOps = opts.MaxChunkOps
 	}
@@ -357,6 +387,38 @@ func (r *Run) ReplayLog(blob []byte, mode Mode, tr *Tracer) (*ReplayResult, erro
 // this run accumulate their stall histograms into the same registry,
 // so snapshot after the last replay of interest.
 func (r *Run) Metrics() *MetricsSnapshot { return r.inner.Stats.Snapshot() }
+
+// CycleReport is the decoded per-core, per-layer cycle attribution of a
+// profiled run (see Options.ProfileCycles and internal/prof).
+type CycleReport = prof.Report
+
+// CycleReport decodes the run's prof.* counters into a per-core,
+// per-layer breakdown. Empty unless the run was recorded with
+// Options.ProfileCycles.
+func (r *Run) CycleReport() *CycleReport { return r.inner.ProfReport() }
+
+// CycleReportFromMetrics decodes the prof.* counters of a metrics
+// snapshot (e.g. one written by `pacifier run -metrics`).
+func CycleReportFromMetrics(m *MetricsSnapshot) *CycleReport { return prof.FromSnapshot(m) }
+
+// ModeledRecordSlowdown returns the analytic record-phase slowdown for
+// a recording's log statistics over the native cycle count — the
+// end-of-run cost model the harness figures print, and the comparison
+// column for the measured number below.
+func ModeledRecordSlowdown(st LogStats, nativeCycles int64) float64 {
+	return record.RecordSlowdown(st, st.TotalBytes, nativeCycles)
+}
+
+// MeasuredRecordSlowdown returns mode's measured record-phase slowdown
+// as a fraction: the recorder's live attributed stall cycles over the
+// native cycles. Zero unless recorded with Options.ProfileCycles. The
+// modeled counterpart is RecordSlowdown in the harness figures.
+func (r *Run) MeasuredRecordSlowdown(mode Mode) float64 {
+	if rec := r.inner.Recording(mode); rec != nil {
+		return r.inner.MeasuredRecordSlowdown(rec)
+	}
+	return 0
+}
 
 // Explain cross-correlates a merged record+replay event stream around
 // its first divergence (nil when the stream shows none).
