@@ -17,9 +17,20 @@
 // drifting away from the serial engine. -baseline may be omitted when
 // only this check is wanted.
 //
+// With -record-drop, the record cases' memops_per_s throughput is also
+// compared against the baseline (timing-gated like ns_per_op: only on
+// comparable environments or with -force-time) and the run fails when
+// the candidate's throughput dropped by more than the given fraction.
+//
+// With -speedup-guard, the candidate's speedup_vs_serial must be at
+// least the given fraction of the baseline's. Speedup is a ratio taken
+// within a single machine, so it stays meaningful across differing
+// environments and is checked even when wall-clock numbers are not.
+//
 // Usage:
 //
 //	benchguard -baseline BENCH_2026-08-07.json -candidate BENCH_ci.json -tolerance 0.02
+//	benchguard -baseline BENCH_2026-08-07.json -candidate BENCH_ci.json -record-drop 0.10 -speedup-guard 0.5
 //	benchguard -candidate BENCH_shards.json -shard-overhead 0.05
 package main
 
@@ -82,6 +93,10 @@ func main() {
 		forceTime = flag.Bool("force-time", false, "compare timing even across differing environments")
 		shardTol  = flag.Float64("shard-overhead", 0,
 			"allowed fractional slowdown of the candidate's sharded record case vs its serial one (0 = skip)")
+		recordDrop = flag.Float64("record-drop", 0,
+			"allowed fractional memops_per_s drop of the Record* cases vs baseline (0 = skip)")
+		speedupMin = flag.Float64("speedup-guard", 0,
+			"minimum candidate speedup_vs_serial as a fraction of the baseline's (0 = skip)")
 	)
 	flag.Parse()
 	if *candidate == "" || (*baseline == "" && *shardTol <= 0) {
@@ -131,6 +146,21 @@ func main() {
 		fmt.Printf("benchguard: %-18s %-13s %12d -> %12d  %+6.2f%%  (limit %+.2f%%)  %s\n",
 			name, metric, baseV, candV, rel*100, *tolerance*100, verdict)
 	}
+	// checkDrop guards a bigger-is-better throughput metric: the run
+	// fails when the candidate lost more than -record-drop of it.
+	checkDrop := func(name, metric string, baseV, candV float64) {
+		if baseV <= 0 {
+			return
+		}
+		rel := (baseV - candV) / baseV
+		verdict := "ok"
+		if rel > *recordDrop {
+			verdict = "FAIL"
+			tripped = append(tripped, fmt.Sprintf("%s %s (-%.2f%%)", name, metric, rel*100))
+		}
+		fmt.Printf("benchguard: %-18s %-13s %12.0f -> %12.0f  %+6.2f%%  (floor %+.2f%%)  %s\n",
+			name, metric, baseV, candV, -rel*100, -*recordDrop*100, verdict)
+	}
 	matched := 0
 	for _, c := range cand.Bench {
 		b, ok := byName[c.Name]
@@ -140,12 +170,34 @@ func main() {
 		matched++
 		if compareTime {
 			check(c.Name, "ns/op", b.NsPerOp, c.NsPerOp)
+			if *recordDrop > 0 && strings.HasPrefix(c.Name, "Record") {
+				checkDrop(c.Name, "memops/s", b.MemopsPerS, c.MemopsPerS)
+			}
 		}
 		check(c.Name, "allocs/op", b.AllocsPerOp, c.AllocsPerOp)
 	}
 	if matched == 0 {
 		fmt.Fprintln(os.Stderr, "benchguard: no benchmark names in common")
 		os.Exit(2)
+	}
+	if *speedupMin > 0 {
+		switch {
+		case cand.SpeedupVsSerial <= 0:
+			fmt.Fprintln(os.Stderr, "benchguard: -speedup-guard needs a candidate report with speedup_vs_serial (pacifier bench -shards N)")
+			os.Exit(2)
+		case base.SpeedupVsSerial <= 0:
+			fmt.Println("benchguard: baseline has no speedup_vs_serial — speedup guard skipped")
+		default:
+			ratio := cand.SpeedupVsSerial / base.SpeedupVsSerial
+			verdict := "ok"
+			if ratio < *speedupMin {
+				verdict = "FAIL"
+				tripped = append(tripped, fmt.Sprintf("speedup_vs_serial collapse (%.3fx -> %.3fx)",
+					base.SpeedupVsSerial, cand.SpeedupVsSerial))
+			}
+			fmt.Printf("benchguard: speedup_vs_serial  %.3fx -> %.3fx  (%.0f%% of baseline, floor %.0f%%)  %s\n",
+				base.SpeedupVsSerial, cand.SpeedupVsSerial, ratio*100, *speedupMin*100, verdict)
+		}
 	}
 	if len(tripped) > 0 {
 		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.1f%% tolerance: %s\n",

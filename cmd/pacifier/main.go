@@ -10,6 +10,7 @@
 //	pacifier -app fft -cores 16 -save fft.rrlog
 //	pacifier -load fft.rrlog
 //	pacifier verify fft.rrlog
+//	pacifier debug -app fft -cores 16 fft.rrlog    # time-travel REPL
 //	pacifier profile -app fft -cores 16 -folded fft.folded
 //	pacifier sweep -apps fft,lu -cores 16,32 -format csv
 //	pacifier sweep -apps all -http :9090          # live /metrics + /api/fleet
@@ -75,6 +76,10 @@ func main() {
 	}
 	if len(os.Args) > 1 && os.Args[1] == "explain" {
 		explain(os.Args[2:])
+		return
+	}
+	if len(os.Args) > 1 && os.Args[1] == "debug" {
+		debugCmd(os.Args[2:])
 		return
 	}
 	if len(os.Args) > 1 && os.Args[1] == "profile" {
@@ -480,9 +485,16 @@ func explain(args []string) {
 		if err := run.CycleReport().WriteTable(os.Stdout); err != nil {
 			fail("%v", err)
 		}
-		fmt.Println("\nattribution     record - replay, up to the divergence:")
-		if err := run.CycleReport().Delta(res.Prof).WriteTable(os.Stdout); err != nil {
-			fail("%v", err)
+		if res.Prof.AttributedTotal() == 0 && res.Divergence != nil {
+			// The replay diverged inside the first chunk: no replay-side
+			// cycles were attributed, so a record−replay delta table would
+			// just reprint the record side as zero-filled deltas.
+			fmt.Println("\nattribution     replay side: diverged before first checkpointable position — no replay cycles attributed")
+		} else {
+			fmt.Println("\nattribution     record - replay, up to the divergence:")
+			if err := run.CycleReport().Delta(res.Prof).WriteTable(os.Stdout); err != nil {
+				fail("%v", err)
+			}
 		}
 	}
 	exit(1)

@@ -11,6 +11,7 @@ import (
 	"pacifier/internal/cache"
 	"pacifier/internal/coherence"
 	"pacifier/internal/cpu"
+	"pacifier/internal/debug"
 	"pacifier/internal/machine"
 	"pacifier/internal/obs"
 	"pacifier/internal/prof"
@@ -240,6 +241,40 @@ func ReplayExternal(rr *RunResult, log *relog.Log, mode record.Mode,
 	}
 	return replay.Run(log, rr.Workload, rr.Records,
 		replay.Config{Tracer: tr, Stats: rr.Stats, Profile: rr.Profiled})
+}
+
+// NewDebugSession opens a time-travel debugging session (internal/debug)
+// over log — or, when log is nil, over the run's own recording of mode.
+// For an external log, chunk durations are restored from the reference
+// recording exactly like ReplayExternal, so the session's timeline
+// matches what a batch replay of the same log would model. The session
+// verifies against the recorded outcomes and profiles when the run was
+// recorded with ProfileCycles.
+func NewDebugSession(rr *RunResult, log *relog.Log, mode record.Mode, interval int64) (*debug.Session, error) {
+	ref := rr.Recording(mode)
+	if log == nil {
+		if ref == nil {
+			return nil, fmt.Errorf("core: no recording for mode %v", mode)
+		}
+		log = ref.Log
+	} else if ref != nil && log.Cores == rr.Cores {
+		for pid := 0; pid < log.Cores; pid++ {
+			orig := ref.Log.Chunks(pid)
+			byCID := make(map[int64]sim.Cycle, len(orig))
+			for _, c := range orig {
+				byCID[c.CID] = c.Duration
+			}
+			for _, c := range log.Chunks(pid) {
+				c.Duration = byCID[c.CID]
+			}
+		}
+	}
+	// Each session gets a private stats registry: the session's stall
+	// histogram is part of its checkpointed state, and sharing the run's
+	// registry would leak counts between sessions (and between a session
+	// and batch replays), making identical positions hash differently.
+	return debug.New(log, rr.Workload, rr.Records,
+		replay.Config{Stats: sim.NewStats(), Profile: rr.Profiled}, interval)
 }
 
 // Slowdown returns the replay slowdown versus native execution for a

@@ -1,0 +1,100 @@
+package debug
+
+import (
+	"fmt"
+
+	"pacifier/internal/coherence"
+	"pacifier/internal/replay"
+)
+
+// Breakpoint stops a running session when the chunk just executed
+// matches. Breakpoints fire at chunk granularity — the Pacifier log's
+// atomic unit — so "break on SN 17 of core 2" stops right after the
+// chunk covering that operation executes, the finest position the
+// replay timeline has.
+type Breakpoint struct {
+	ID   int
+	Kind string // "sn", "chunk", "core", "addr"
+	PID  int    // core filter; -1 matches any core ("addr" breakpoints)
+	SN   int64  // "sn": operation serial number
+	CID  int64  // "chunk": chunk id
+	Addr uint64 // "addr": memory word
+}
+
+func (b *Breakpoint) String() string {
+	switch b.Kind {
+	case "sn":
+		return fmt.Sprintf("#%d break sn %d:%d", b.ID, b.PID, b.SN)
+	case "chunk":
+		return fmt.Sprintf("#%d break chunk %d:%d", b.ID, b.PID, b.CID)
+	case "core":
+		return fmt.Sprintf("#%d break core %d", b.ID, b.PID)
+	case "addr":
+		return fmt.Sprintf("#%d break addr %#x", b.ID, b.Addr)
+	}
+	return fmt.Sprintf("#%d break ?%s", b.ID, b.Kind)
+}
+
+// matches reports whether the executed chunk trips the breakpoint.
+func (b *Breakpoint) matches(s *Session, info replay.StepInfo) bool {
+	switch b.Kind {
+	case "sn":
+		return info.PID == b.PID && int64(info.StartSN) <= b.SN && b.SN <= int64(info.EndSN)
+	case "chunk":
+		return info.PID == b.PID && info.CID == b.CID
+	case "core":
+		return info.PID == b.PID
+	case "addr":
+		for sn := info.StartSN; sn <= info.EndSN; sn++ {
+			if op, ok := s.st.Op(info.PID, sn); ok && uint64(op.Addr) == b.Addr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Watchpoint stops a running session when the replayed value at Addr
+// changes across a step (including P_set compensation stores and VLog
+// side effects — anything that moves the memory image).
+type Watchpoint struct {
+	ID   int
+	Addr uint64
+	old  uint64 // value before the step being evaluated
+}
+
+func (w *Watchpoint) String() string {
+	return fmt.Sprintf("#%d watch %#x", w.ID, w.Addr)
+}
+
+// arm records the pre-step value.
+func (w *Watchpoint) arm(s *Session) { w.old = s.st.MemValue(coherence.Addr(w.Addr)) }
+
+// hit reports whether the step changed the watched word, returning the
+// old and new values.
+func (w *Watchpoint) hit(s *Session) (old, now uint64, changed bool) {
+	now = s.st.MemValue(coherence.Addr(w.Addr))
+	return w.old, now, now != w.old
+}
+
+// Stop describes why Continue (or StepN) returned.
+type Stop struct {
+	Reason string // "break", "watch", "end", "step"
+	Info   replay.StepInfo
+	Break  *Breakpoint // set when Reason == "break"
+	Watch  *Watchpoint // set when Reason == "watch"
+	Old    uint64      // watch: value before
+	New    uint64      // watch: value after
+}
+
+func (st Stop) String() string {
+	switch st.Reason {
+	case "break":
+		return fmt.Sprintf("hit %s at %s", st.Break, st.Info)
+	case "watch":
+		return fmt.Sprintf("hit %s at %s: %d -> %d", st.Watch, st.Info, st.Old, st.New)
+	case "end":
+		return "end of schedule"
+	}
+	return st.Info.String()
+}

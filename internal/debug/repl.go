@@ -1,0 +1,370 @@
+package debug
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// REPL is the deterministic command interpreter behind
+// `pacifier debug`: the same Execute path serves the interactive
+// prompt, the -script mode CI runs, and tests. Output for a given
+// session + command sequence is byte-identical across runs — the
+// debug-smoke CI job diffs two transcripts to prove it.
+type REPL struct {
+	S      *Session
+	Out    io.Writer
+	Prompt bool // print "(pacifier) " prompts (interactive mode)
+}
+
+const replHelp = `commands:
+  status                   position, clocks, divergence summary
+  step [n]                 execute n chunks (default 1)
+  rstep [n]                reverse-step n chunks (default 1)
+  continue                 run until a break/watch fires or the end
+  seek <pos>               jump to absolute position
+  seek sn <pid>:<sn>       position after the chunk covering the op
+  seek chunk <pid>:<cid>   position after the chunk
+  seek cycle <c>           position where the makespan reaches c
+  break sn <pid>:<sn>      break on an operation's chunk
+  break chunk <pid>:<cid>  break on a chunk boundary
+  break core <pid>         break on every chunk of a core
+  break addr <addr>        break on any chunk touching an address
+  watch <addr>             stop when the word at addr changes
+  info breaks              list breakpoints and watchpoints
+  delete <id>              remove a breakpoint or watchpoint
+  mem <addr>               read the replayed memory word
+  hash                     snapshot hash of the current position
+  explain                  divergence story up to here
+  prof                     replay-side cycle attribution up to here
+  trace <from> <to> <file> write a Perfetto slice of (from, to]
+  result                   finalize and summarize the replay
+  quit                     leave the debugger`
+
+// Run executes commands from in until EOF or quit.
+func (r *REPL) Run(in io.Reader) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 64*1024), 64*1024)
+	for {
+		if r.Prompt {
+			fmt.Fprint(r.Out, "(pacifier) ")
+		}
+		if !sc.Scan() {
+			return sc.Err()
+		}
+		if r.Execute(sc.Text()) {
+			return nil
+		}
+	}
+}
+
+// RunScript executes a newline-separated command script, echoing each
+// command before its output so the transcript reads like a session.
+func (r *REPL) RunScript(script string) error {
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fmt.Fprintf(r.Out, "> %s\n", line)
+		if r.Execute(line) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Execute runs one command line, returning true on quit.
+func (r *REPL) Execute(line string) (quit bool) {
+	f := strings.Fields(line)
+	if len(f) == 0 {
+		return false
+	}
+	s := r.S
+	switch f[0] {
+	case "help", "h", "?":
+		fmt.Fprintln(r.Out, replHelp)
+	case "quit", "exit", "q":
+		return true
+	case "status", "pos":
+		r.status()
+	case "step", "s":
+		n := r.optN(f, 1)
+		if n > 0 {
+			r.stop(s.StepN(n))
+		}
+	case "rstep", "rs":
+		n := r.optN(f, 1)
+		if n > 0 {
+			r.err(s.ReverseStep(n))
+			fmt.Fprintf(r.Out, "pos %d\n", s.Pos())
+		}
+	case "continue", "c":
+		r.stop(s.Continue())
+	case "seek":
+		r.seek(f[1:])
+	case "break", "b":
+		r.breakCmd(f[1:])
+	case "watch", "w":
+		if len(f) != 2 {
+			fmt.Fprintln(r.Out, "usage: watch <addr>")
+			return false
+		}
+		addr, err := parseAddr(f[1])
+		if err != nil {
+			r.err(err)
+			return false
+		}
+		fmt.Fprintf(r.Out, "set %s\n", s.Watch(addr))
+	case "info":
+		if len(f) == 2 && f[1] == "breaks" {
+			r.infoBreaks()
+		} else {
+			fmt.Fprintln(r.Out, "usage: info breaks")
+		}
+	case "delete", "d":
+		if len(f) != 2 {
+			fmt.Fprintln(r.Out, "usage: delete <id>")
+			return false
+		}
+		id, err := strconv.Atoi(f[1])
+		if err != nil || !s.Delete(id) {
+			fmt.Fprintf(r.Out, "no breakpoint or watchpoint #%s\n", f[1])
+		} else {
+			fmt.Fprintf(r.Out, "deleted #%d\n", id)
+		}
+	case "mem":
+		if len(f) != 2 {
+			fmt.Fprintln(r.Out, "usage: mem <addr>")
+			return false
+		}
+		addr, err := parseAddr(f[1])
+		if err != nil {
+			r.err(err)
+			return false
+		}
+		fmt.Fprintf(r.Out, "mem[%#x] = %d\n", addr, s.MemValue(addr))
+	case "hash":
+		h, err := s.SnapshotHash()
+		if err != nil {
+			r.err(err)
+			return false
+		}
+		fmt.Fprintf(r.Out, "pos %d hash %s\n", s.Pos(), h)
+	case "explain":
+		fmt.Fprint(r.Out, strings.TrimRight(s.Explain(), "\n")+"\n")
+	case "prof":
+		rep := s.ProfReport()
+		if rep == nil {
+			fmt.Fprintln(r.Out, "profiling is off (run debug with -profile)")
+			return false
+		}
+		if err := rep.WriteTable(r.Out); err != nil {
+			r.err(err)
+		}
+	case "trace":
+		if len(f) != 4 {
+			fmt.Fprintln(r.Out, "usage: trace <from> <to> <file>")
+			return false
+		}
+		from, err1 := strconv.ParseInt(f[1], 10, 64)
+		to, err2 := strconv.ParseInt(f[2], 10, 64)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintln(r.Out, "usage: trace <from> <to> <file>")
+			return false
+		}
+		if err := s.TraceWindow(from, to, f[3]); err != nil {
+			r.err(err)
+		} else {
+			fmt.Fprintf(r.Out, "wrote trace of (%d, %d] to %s\n", from, to, f[3])
+		}
+	case "result":
+		res := s.Result()
+		fmt.Fprintf(r.Out, "chunks %d ops %d makespan %d mismatches %d order-breaks %d leftover-ssb %d defects %d\n",
+			res.ChunksReplayed, res.OpsReplayed, int64(res.Makespan),
+			res.MismatchCount, res.OrderBreaks, res.LeftoverSSB, res.DefectCount)
+		if res.Deterministic() {
+			fmt.Fprintln(r.Out, "replay deterministic")
+		} else if res.Divergence != nil {
+			fmt.Fprintln(r.Out, res.Divergence.String())
+		}
+	default:
+		fmt.Fprintf(r.Out, "unknown command %q (try help)\n", f[0])
+	}
+	return false
+}
+
+func (r *REPL) status() {
+	s := r.S
+	st := s.Status()
+	fmt.Fprintf(r.Out, "pos %d/%d  makespan %d  chunks %d  ops %d\n",
+		st.Pos, st.Total, st.Makespan, st.ChunksDone, st.OpsDone)
+	for pid, c := range st.CoreClock {
+		fmt.Fprintf(r.Out, "  core %d: clock %d, next chunk %d/%d\n",
+			pid, c, s.Stepper().Cursor(pid), len(s.log.Chunks(pid)))
+	}
+	if st.Divergence != "" {
+		fmt.Fprintln(r.Out, "  "+st.Divergence)
+	}
+}
+
+func (r *REPL) seek(f []string) {
+	s := r.S
+	switch {
+	case len(f) == 1:
+		pos, err := strconv.ParseInt(f[0], 10, 64)
+		if err != nil {
+			fmt.Fprintln(r.Out, "usage: seek <pos> | seek sn <pid>:<sn> | seek chunk <pid>:<cid> | seek cycle <c>")
+			return
+		}
+		r.err(s.SeekTo(pos))
+	case len(f) == 2 && f[0] == "sn":
+		pid, n, err := parsePair(f[1])
+		if err != nil {
+			r.err(err)
+			return
+		}
+		r.err(s.SeekSN(pid, n))
+	case len(f) == 2 && f[0] == "chunk":
+		pid, n, err := parsePair(f[1])
+		if err != nil {
+			r.err(err)
+			return
+		}
+		r.err(s.SeekChunk(pid, n))
+	case len(f) == 2 && f[0] == "cycle":
+		c, err := strconv.ParseInt(f[1], 10, 64)
+		if err != nil {
+			r.err(err)
+			return
+		}
+		r.err(s.SeekCycle(c))
+	default:
+		fmt.Fprintln(r.Out, "usage: seek <pos> | seek sn <pid>:<sn> | seek chunk <pid>:<cid> | seek cycle <c>")
+		return
+	}
+	fmt.Fprintf(r.Out, "pos %d\n", s.Pos())
+}
+
+func (r *REPL) breakCmd(f []string) {
+	s := r.S
+	usage := func() {
+		fmt.Fprintln(r.Out, "usage: break sn <pid>:<sn> | break chunk <pid>:<cid> | break core <pid> | break addr <addr>")
+	}
+	if len(f) != 2 {
+		usage()
+		return
+	}
+	var b *Breakpoint
+	switch f[0] {
+	case "sn":
+		pid, n, err := parsePair(f[1])
+		if err != nil {
+			r.err(err)
+			return
+		}
+		b = s.BreakSN(pid, n)
+	case "chunk":
+		pid, n, err := parsePair(f[1])
+		if err != nil {
+			r.err(err)
+			return
+		}
+		b = s.BreakChunk(pid, n)
+	case "core":
+		pid, err := strconv.Atoi(f[1])
+		if err != nil {
+			r.err(err)
+			return
+		}
+		b = s.BreakCore(pid)
+	case "addr":
+		addr, err := parseAddr(f[1])
+		if err != nil {
+			r.err(err)
+			return
+		}
+		b = s.BreakAddr(addr)
+	default:
+		usage()
+		return
+	}
+	fmt.Fprintf(r.Out, "set %s\n", b)
+}
+
+func (r *REPL) infoBreaks() {
+	s := r.S
+	if len(s.Breaks()) == 0 && len(s.Watches()) == 0 {
+		fmt.Fprintln(r.Out, "no breakpoints or watchpoints")
+		return
+	}
+	for _, b := range s.Breaks() {
+		fmt.Fprintln(r.Out, b)
+	}
+	for _, w := range s.Watches() {
+		fmt.Fprintln(r.Out, w)
+	}
+}
+
+// stop renders the result of a run command.
+func (r *REPL) stop(st Stop) {
+	fmt.Fprintln(r.Out, st.String())
+	if st.Reason == "end" {
+		fmt.Fprintf(r.Out, "pos %d\n", r.S.Pos())
+	}
+}
+
+// err prints a non-nil error; navigation keeps going after it.
+func (r *REPL) err(e error) {
+	if e != nil {
+		fmt.Fprintln(r.Out, "error:", e)
+	}
+}
+
+// optN parses an optional count argument (default def); 0 on error.
+func (r *REPL) optN(f []string, def int64) int64 {
+	if len(f) < 2 {
+		return def
+	}
+	n, err := strconv.ParseInt(f[1], 10, 64)
+	if err != nil || n < 1 {
+		fmt.Fprintf(r.Out, "bad count %q\n", f[1])
+		return 0
+	}
+	return n
+}
+
+// parsePair parses "<pid>:<n>".
+func parsePair(s string) (int, int64, error) {
+	a, b, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, 0, fmt.Errorf("debug: want <pid>:<n>, got %q", s)
+	}
+	pid, err := strconv.Atoi(a)
+	if err != nil {
+		return 0, 0, fmt.Errorf("debug: bad pid %q", a)
+	}
+	n, err := strconv.ParseInt(b, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("debug: bad number %q", b)
+	}
+	return pid, n, nil
+}
+
+// parseAddr parses a memory address (decimal or 0x-hex).
+func parseAddr(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimPrefix(strings.ToLower(s), "0x"), 16, 64)
+	if strings.HasPrefix(strings.ToLower(s), "0x") {
+		if err != nil {
+			return 0, fmt.Errorf("debug: bad address %q", s)
+		}
+		return v, nil
+	}
+	d, derr := strconv.ParseUint(s, 10, 64)
+	if derr != nil {
+		return 0, fmt.Errorf("debug: bad address %q", s)
+	}
+	return d, nil
+}

@@ -1,0 +1,109 @@
+package debug
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pacifier/internal/trace"
+)
+
+func runScript(t *testing.T, script string) string {
+	t.Helper()
+	var out bytes.Buffer
+	r := &REPL{S: testSession(t, 4), Out: &out}
+	if err := r.RunScript(script); err != nil {
+		t.Fatal(err)
+	}
+	return out.String()
+}
+
+func TestREPLScriptDeterministic(t *testing.T) {
+	script := strings.Join([]string{
+		"status",
+		"break sn 1:5",
+		"watch " + fmt.Sprintf("%#x", uint64(trace.SharedWord(0, 3))),
+		"info breaks",
+		"continue",
+		"continue",
+		"rstep 2",
+		"hash",
+		"step 2",
+		"hash",
+		"seek 0",
+		"seek chunk 2:1",
+		"explain",
+		"seek 99",
+		"result",
+		"quit",
+	}, "\n")
+	a := runScript(t, script)
+	b := runScript(t, script)
+	if a != b {
+		t.Fatalf("transcripts differ:\n--- first\n%s\n--- second\n%s", a, b)
+	}
+	for _, want := range []string{"hit #", "watch", "pos 0", "replay deterministic"} {
+		if !strings.Contains(a, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestREPLReverseStepHashIdentity drives the acceptance criterion
+// through the user-facing surface: rstep n; step n lands on the same
+// snapshot hash line.
+func TestREPLReverseStepHashIdentity(t *testing.T) {
+	out := runScript(t, "seek 6\nhash\nrstep 3\nstep 3\nhash\nquit")
+	var hashes []string
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "hash ") {
+			hashes = append(hashes, line)
+		}
+	}
+	if len(hashes) != 2 || hashes[0] != hashes[1] {
+		t.Fatalf("hash lines: %q", hashes)
+	}
+}
+
+func TestREPLTraceAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "window.json")
+	out := runScript(t, strings.Join([]string{
+		"trace 0 4 " + path,
+		"trace 4 4 " + path, // empty window: error
+		"seek 99",           // clamps to end
+		"mem 0x10",
+		"step 0",       // bad count
+		"bogus",        // unknown command
+		"delete 99",    // nothing to delete
+		"seek sn 0:99", // no such op
+		"quit",
+	}, "\n"))
+	for _, want := range []string{
+		"wrote trace of (0, 4]",
+		"empty trace window",
+		"pos 12",
+		"mem[0x10]",
+		"bad count",
+		"unknown command",
+		"no breakpoint or watchpoint #99",
+		"no chunk covering sn 99",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("transcript missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestREPLInteractiveRun(t *testing.T) {
+	var out bytes.Buffer
+	r := &REPL{S: testSession(t, 4), Out: &out, Prompt: true}
+	if err := r.Run(strings.NewReader("status\nstep\nquit\n")); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(pacifier) ") {
+		t.Fatal("interactive run printed no prompt")
+	}
+}

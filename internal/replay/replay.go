@@ -233,64 +233,6 @@ func Run(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecord, cfg Con
 	return res, err
 }
 
-// schedule runs the ready-chunk loop until all chunks executed. If no
-// chunk is ready (the log's order constraints are unsatisfiable), the
-// chunk with the smallest timestamp is force-started and the break is
-// counted.
-func (r *replayer) schedule() {
-	remaining := r.log.TotalChunks()
-	for remaining > 0 {
-		progress := false
-		start := 0
-		if r.log.Cores > 1 {
-			start = r.rng.Intn(r.log.Cores)
-		}
-		for k := 0; k < r.log.Cores; k++ {
-			pid := (start + k) % r.log.Cores
-			for r.cursor[pid] < len(r.log.Chunks(pid)) &&
-				r.ready(r.log.Chunks(pid)[r.cursor[pid]]) {
-				r.execute(r.log.Chunks(pid)[r.cursor[pid]], false)
-				r.cursor[pid]++
-				remaining--
-				progress = true
-			}
-		}
-		if progress {
-			continue
-		}
-		// Stuck: the recorded DAG cannot be satisfied (e.g. Karma log of
-		// an execution with SCVs). Break the order deterministically at
-		// the smallest-timestamp stalled chunk.
-		if DebugStuck != nil {
-			done := make(map[relog.ChunkRef]bool, len(r.chunkEnd))
-			for ref := range r.chunkEnd {
-				done[ref] = true
-			}
-			DebugStuck(r.log, r.cursor, done, r.ssbView())
-		}
-		var victim *relog.Chunk
-		for pid := 0; pid < r.log.Cores; pid++ {
-			if r.cursor[pid] >= len(r.log.Chunks(pid)) {
-				continue
-			}
-			c := r.log.Chunks(pid)[r.cursor[pid]]
-			if victim == nil || c.TS < victim.TS || (c.TS == victim.TS && c.PID < victim.PID) {
-				victim = c
-			}
-		}
-		if victim == nil {
-			panic("replay: accounting error: chunks remain but none found")
-		}
-		r.res.OrderBreaks++
-		r.diverge("order-break", victim.PID, victim.CID, 0, r.coreClock[victim.PID], 0, 0,
-			fmt.Sprintf("chunk ts=%d force-started despite %d unsatisfied predecessor(s)",
-				victim.TS, len(victim.Preds)))
-		r.execute(victim, true)
-		r.cursor[victim.PID]++
-		remaining--
-	}
-}
-
 // ssbView renders the SSB for debugging.
 func (r *replayer) ssbView() map[string][]relog.ChunkRef {
 	out := map[string][]relog.ChunkRef{}
@@ -324,8 +266,9 @@ func (r *replayer) ready(c *relog.Chunk) bool {
 }
 
 // execute replays one chunk atomically: P_set compensation stores first,
-// then the body with D_set skips and VLog overrides.
-func (r *replayer) execute(c *relog.Chunk, forced bool) {
+// then the body with D_set skips and VLog overrides. It returns the
+// chunk's modeled execution span.
+func (r *replayer) execute(c *relog.Chunk, forced bool) (sim.Cycle, sim.Cycle) {
 	ref := relog.ChunkRef{PID: c.PID, CID: c.CID}
 	// Timing: start after the po-predecessor and all chunk preds (+wake).
 	startAt := r.coreClock[c.PID]
@@ -445,6 +388,7 @@ func (r *replayer) execute(c *relog.Chunk, forced bool) {
 	}
 	r.cur = nil
 	_ = forced
+	return startAt, end
 }
 
 // vlogValue finds the VLog entry at off, if any.
@@ -561,75 +505,21 @@ type FinalMemory map[coherence.Addr]uint64
 // executes: a log that violates the recorder's invariants is rejected
 // with an error wrapping relog.ErrInvalid instead of replayed on a
 // best-effort basis.
+//
+// It is the batch form of the Stepper: every chunk executes through the
+// same Step path the interactive debugger uses, so a stepped (or
+// checkpoint-restored) session and a batch replay are identical by
+// construction, not by parallel maintenance.
 func RunWithMemory(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecord, cfg Config) (*Result, FinalMemory, error) {
-	if err := relog.Validate(log); err != nil {
-		return nil, nil, fmt.Errorf("replay: rejecting log: %w", err)
+	st, err := NewStepper(log, w, expected, cfg)
+	if err != nil {
+		return nil, nil, err
 	}
-	if len(w.Threads) != log.Cores {
-		return nil, nil, fmt.Errorf("replay: workload has %d threads, log has %d cores",
-			len(w.Threads), log.Cores)
-	}
-	if expected != nil && len(expected) != log.Cores {
-		return nil, nil, fmt.Errorf("replay: recorded outcomes cover %d cores, log has %d",
-			len(expected), log.Cores)
-	}
-	r := &replayer{
-		cfg:       cfg,
-		log:       log,
-		expected:  expected,
-		mem:       make(map[coherence.Addr]uint64),
-		cursor:    make([]int, log.Cores),
-		chunkEnd:  make(map[relog.ChunkRef]sim.Cycle),
-		ssb:       make(map[ssbKey]ssbEntry),
-		coreClock: make([]sim.Cycle, log.Cores),
-		res:       &Result{},
-		rng:       sim.NewRNG(cfg.ScanSeed ^ 0xeb5),
-		tr:        cfg.Tracer,
-	}
-	if cfg.Stats != nil {
-		r.hStall = cfg.Stats.Histogram("replay.stall_cycles")
-	}
-	if cfg.Profile {
-		r.profStats = sim.NewStats()
-		r.lat = make([]*prof.Lat, log.Cores)
-		for pid := range r.lat {
-			r.lat[pid] = prof.NewLat(pid)
+	for {
+		if _, ok := st.Step(); !ok {
+			break
 		}
 	}
-	r.tmChunks = telemetry.C("pacifier_replay_chunks_total", "Chunks replayed.")
-	r.tmOps = telemetry.C("pacifier_replay_ops_total", "Operations replayed.")
-	r.tmMismatches = telemetry.C("pacifier_replay_mismatches_total", "Value mismatches observed during replay.")
-	r.tmStall = telemetry.H("pacifier_replay_stall_cycles", "Cycles a chunk stalled waiting for predecessors.")
-	if cfg.Mesh.Nodes == 0 {
-		r.cfg.Mesh = noc.DefaultConfig(log.Cores)
-	}
-	r.mesh = noc.New(sim.NewEngine(), r.cfg.Mesh, nil)
-	for pid, th := range w.Threads {
-		var ops []trace.Op
-		for _, op := range th {
-			switch op.Kind {
-			case trace.Read, trace.Write, trace.Acquire, trace.Release:
-				ops = append(ops, op)
-			}
-		}
-		r.memOps = append(r.memOps, ops)
-		if chunks := log.Chunks(pid); len(chunks) > 0 {
-			last := chunks[len(chunks)-1]
-			if int(last.EndSN) != len(ops) {
-				return nil, nil, fmt.Errorf("replay: core %d log covers SN 1..%d but workload has %d memory ops",
-					pid, last.EndSN, len(ops))
-			}
-		}
-	}
-	r.schedule()
-	r.flushSSB()
-	for _, c := range r.coreClock {
-		if c > r.res.Makespan {
-			r.res.Makespan = c
-		}
-	}
-	if r.profStats != nil {
-		r.res.Prof = prof.FromStats(r.profStats)
-	}
-	return r.res, FinalMemory(r.mem), nil
+	res, mem := st.Finish()
+	return res, mem, nil
 }

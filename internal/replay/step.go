@@ -1,0 +1,302 @@
+package replay
+
+import (
+	"fmt"
+
+	"pacifier/internal/coherence"
+	"pacifier/internal/cpu"
+	"pacifier/internal/noc"
+	"pacifier/internal/obs"
+	"pacifier/internal/prof"
+	"pacifier/internal/relog"
+	"pacifier/internal/sim"
+	"pacifier/internal/telemetry"
+	"pacifier/internal/trace"
+)
+
+// StepInfo describes one executed chunk — the unit of progress the
+// debugger's positions, breakpoints and transcripts are phrased in.
+type StepInfo struct {
+	// Pos is the 1-based count of chunks executed including this one;
+	// it is the session position after the step.
+	Pos int64
+	// PID/CID identify the chunk; StartSN/EndSN its operation range.
+	PID     int
+	CID     int64
+	StartSN SN
+	EndSN   SN
+	// Start/End is the chunk's modeled execution span in replay cycles.
+	Start, End sim.Cycle
+	// Forced marks an order break: the chunk was started despite
+	// unsatisfied predecessors because the scheduler was stuck.
+	Forced bool
+}
+
+func (si StepInfo) String() string {
+	s := fmt.Sprintf("#%d core %d chunk %d sn [%d,%d] cycles [%d,%d)",
+		si.Pos, si.PID, si.CID, int64(si.StartSN), int64(si.EndSN),
+		int64(si.Start), int64(si.End))
+	if si.Forced {
+		s += " FORCED"
+	}
+	return s
+}
+
+// Stepper replays a log one chunk at a time in exactly the order the
+// batch scheduler would use: the ready-chunk scan (including its RNG
+// draws), the per-core drain order, and the stuck-victim selection are
+// the same code; Step simply returns after each executed chunk instead
+// of looping. RunWithMemory is implemented on top of it.
+//
+// A Stepper's complete mutable state can be captured and restored
+// (CaptureState/RestoreState), which is what makes O(interval) seek and
+// reverse stepping possible in the debugger.
+type Stepper struct {
+	r         *replayer
+	remaining int
+	steps     int64
+	finished  bool
+
+	// Scan state of the partially-unrolled scheduling round.
+	scanStart int
+	scanK     int
+	progress  bool
+	roundOpen bool
+}
+
+// NewStepper validates the log and builds a stepping replayer over it.
+// The arguments and checks are the same as RunWithMemory's.
+func NewStepper(log *relog.Log, w *trace.Workload, expected [][]cpu.ExecRecord, cfg Config) (*Stepper, error) {
+	if err := relog.Validate(log); err != nil {
+		return nil, fmt.Errorf("replay: rejecting log: %w", err)
+	}
+	if len(w.Threads) != log.Cores {
+		return nil, fmt.Errorf("replay: workload has %d threads, log has %d cores",
+			len(w.Threads), log.Cores)
+	}
+	if expected != nil && len(expected) != log.Cores {
+		return nil, fmt.Errorf("replay: recorded outcomes cover %d cores, log has %d",
+			len(expected), log.Cores)
+	}
+	r := &replayer{
+		cfg:       cfg,
+		log:       log,
+		expected:  expected,
+		mem:       make(map[coherence.Addr]uint64),
+		cursor:    make([]int, log.Cores),
+		chunkEnd:  make(map[relog.ChunkRef]sim.Cycle),
+		ssb:       make(map[ssbKey]ssbEntry),
+		coreClock: make([]sim.Cycle, log.Cores),
+		res:       &Result{},
+		rng:       sim.NewRNG(cfg.ScanSeed ^ 0xeb5),
+		tr:        cfg.Tracer,
+	}
+	if cfg.Stats != nil {
+		r.hStall = cfg.Stats.Histogram("replay.stall_cycles")
+	}
+	if cfg.Profile {
+		r.profStats = sim.NewStats()
+		r.lat = make([]*prof.Lat, log.Cores)
+		for pid := range r.lat {
+			r.lat[pid] = prof.NewLat(pid)
+		}
+	}
+	r.tmChunks = telemetry.C("pacifier_replay_chunks_total", "Chunks replayed.")
+	r.tmOps = telemetry.C("pacifier_replay_ops_total", "Operations replayed.")
+	r.tmMismatches = telemetry.C("pacifier_replay_mismatches_total", "Value mismatches observed during replay.")
+	r.tmStall = telemetry.H("pacifier_replay_stall_cycles", "Cycles a chunk stalled waiting for predecessors.")
+	if cfg.Mesh.Nodes == 0 {
+		r.cfg.Mesh = noc.DefaultConfig(log.Cores)
+	}
+	r.mesh = noc.New(sim.NewEngine(), r.cfg.Mesh, nil)
+	for pid, th := range w.Threads {
+		var ops []trace.Op
+		for _, op := range th {
+			switch op.Kind {
+			case trace.Read, trace.Write, trace.Acquire, trace.Release:
+				ops = append(ops, op)
+			}
+		}
+		r.memOps = append(r.memOps, ops)
+		if chunks := log.Chunks(pid); len(chunks) > 0 {
+			last := chunks[len(chunks)-1]
+			if int(last.EndSN) != len(ops) {
+				return nil, fmt.Errorf("replay: core %d log covers SN 1..%d but workload has %d memory ops",
+					pid, last.EndSN, len(ops))
+			}
+		}
+	}
+	return &Stepper{r: r, remaining: log.TotalChunks()}, nil
+}
+
+// Step executes the next chunk of the schedule and reports it. It
+// returns ok=false when every chunk has executed (or Finish was called).
+//
+// The scan reproduces the batch scheduler exactly: each round draws one
+// RNG value for its start core (when Cores > 1), then drains ready
+// chunks core by core — staying on a core as long as its next chunk is
+// ready — and force-starts the smallest-timestamp stalled chunk when a
+// whole round makes no progress.
+func (s *Stepper) Step() (StepInfo, bool) {
+	if s.remaining == 0 || s.finished {
+		return StepInfo{}, false
+	}
+	r := s.r
+	for {
+		if !s.roundOpen {
+			s.progress = false
+			s.scanStart = 0
+			if r.log.Cores > 1 {
+				s.scanStart = r.rng.Intn(r.log.Cores)
+			}
+			s.scanK = 0
+			s.roundOpen = true
+		}
+		for ; s.scanK < r.log.Cores; s.scanK++ {
+			pid := (s.scanStart + s.scanK) % r.log.Cores
+			if r.cursor[pid] < len(r.log.Chunks(pid)) &&
+				r.ready(r.log.Chunks(pid)[r.cursor[pid]]) {
+				// Do not advance scanK: the batch loop drains every ready
+				// chunk of this core before moving on, so the next Step
+				// re-probes the same core first.
+				c := r.log.Chunks(pid)[r.cursor[pid]]
+				info := s.executed(c, false)
+				r.cursor[pid]++
+				s.progress = true
+				return info, true
+			}
+		}
+		s.roundOpen = false
+		if s.progress {
+			continue
+		}
+		// Stuck: the recorded DAG cannot be satisfied (e.g. Karma log of
+		// an execution with SCVs). Break the order deterministically at
+		// the smallest-timestamp stalled chunk.
+		if DebugStuck != nil {
+			done := make(map[relog.ChunkRef]bool, len(r.chunkEnd))
+			for ref := range r.chunkEnd {
+				done[ref] = true
+			}
+			DebugStuck(r.log, r.cursor, done, r.ssbView())
+		}
+		var victim *relog.Chunk
+		for pid := 0; pid < r.log.Cores; pid++ {
+			if r.cursor[pid] >= len(r.log.Chunks(pid)) {
+				continue
+			}
+			c := r.log.Chunks(pid)[r.cursor[pid]]
+			if victim == nil || c.TS < victim.TS || (c.TS == victim.TS && c.PID < victim.PID) {
+				victim = c
+			}
+		}
+		if victim == nil {
+			panic("replay: accounting error: chunks remain but none found")
+		}
+		r.res.OrderBreaks++
+		r.diverge("order-break", victim.PID, victim.CID, 0, r.coreClock[victim.PID], 0, 0,
+			fmt.Sprintf("chunk ts=%d force-started despite %d unsatisfied predecessor(s)",
+				victim.TS, len(victim.Preds)))
+		info := s.executed(victim, true)
+		r.cursor[victim.PID]++
+		return info, true
+	}
+}
+
+// executed runs one chunk through the replayer and accounts the step.
+func (s *Stepper) executed(c *relog.Chunk, forced bool) StepInfo {
+	start, end := s.r.execute(c, forced)
+	s.remaining--
+	s.steps++
+	return StepInfo{
+		Pos: s.steps, PID: c.PID, CID: c.CID,
+		StartSN: c.StartSN, EndSN: c.EndSN,
+		Start: start, End: end, Forced: forced,
+	}
+}
+
+// Finish completes the replay: leftover delayed stores are flushed (a
+// log defect, counted), the makespan is computed, and — when profiling —
+// the attribution report is decoded. Idempotent; Step returns false
+// afterwards. It may be called early (with chunks remaining) to
+// finalize a partial replay's Result.
+func (s *Stepper) Finish() (*Result, FinalMemory) {
+	r := s.r
+	if !s.finished {
+		s.finished = true
+		r.flushSSB()
+	}
+	r.res.Makespan = 0
+	for _, c := range r.coreClock {
+		if c > r.res.Makespan {
+			r.res.Makespan = c
+		}
+	}
+	if r.profStats != nil {
+		r.res.Prof = prof.FromStats(r.profStats)
+	}
+	return r.res, FinalMemory(r.mem)
+}
+
+// Finished reports whether Finish has run.
+func (s *Stepper) Finished() bool { return s.finished }
+
+// Pos returns the number of chunks executed so far.
+func (s *Stepper) Pos() int64 { return s.steps }
+
+// Remaining returns the number of chunks not yet executed.
+func (s *Stepper) Remaining() int { return s.remaining }
+
+// TotalChunks returns the log's total chunk count (the final position).
+func (s *Stepper) TotalChunks() int { return s.r.log.TotalChunks() }
+
+// Cores returns the replayed machine's core count.
+func (s *Stepper) Cores() int { return s.r.log.Cores }
+
+// CoreClock returns core pid's current replay clock.
+func (s *Stepper) CoreClock(pid int) sim.Cycle { return s.r.coreClock[pid] }
+
+// MaxClock returns the latest core clock — the makespan so far.
+func (s *Stepper) MaxClock() sim.Cycle {
+	var m sim.Cycle
+	for _, c := range s.r.coreClock {
+		if c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// Cursor returns the index of core pid's next unexecuted chunk.
+func (s *Stepper) Cursor(pid int) int { return s.r.cursor[pid] }
+
+// MemValue returns the current replayed value at addr (zero if the
+// address was never stored to).
+func (s *Stepper) MemValue(addr coherence.Addr) uint64 { return s.r.mem[addr] }
+
+// Op returns core pid's memory operation with serial number sn
+// (1-based), ok=false when out of range.
+func (s *Stepper) Op(pid int, sn SN) (trace.Op, bool) {
+	if pid < 0 || pid >= len(s.r.memOps) || sn < 1 || int64(sn) > int64(len(s.r.memOps[pid])) {
+		return trace.Op{}, false
+	}
+	return s.r.memOps[pid][sn-1], true
+}
+
+// Result returns the live result accumulated so far. Callers must treat
+// it as read-only; it keeps accumulating as the session steps.
+func (s *Stepper) Result() *Result { return s.r.res }
+
+// ProfReport decodes the replay-side attribution accumulated so far
+// (nil unless Config.Profile was set).
+func (s *Stepper) ProfReport() *prof.Report {
+	if s.r.profStats == nil {
+		return nil
+	}
+	return prof.FromStats(s.r.profStats)
+}
+
+// SetTracer swaps the replay-side event sink. The debugger attaches a
+// tracer only for the window it wants a Perfetto slice of, so ordinary
+// stepping stays trace-free.
+func (s *Stepper) SetTracer(tr *obs.Tracer) { s.r.tr = tr }

@@ -43,6 +43,16 @@ func (r *RNG) Uint64() uint64 {
 	return mix64(r.state)
 }
 
+// State returns the generator's current position in its stream. Feeding
+// it back through SetState (or NewRNG) reproduces the exact remaining
+// sequence — the replay-debugger checkpoints serialize it so a restored
+// session draws the same scan order the uninterrupted run would have.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds or fast-forwards the generator to a position
+// previously captured with State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // mix64 is the splitmix64 finalizer.
 func mix64(z uint64) uint64 {
 	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9

@@ -195,3 +195,33 @@ func (sn *Snapshot) Encode() ([]byte, error) {
 	}
 	return append(b, '\n'), nil
 }
+
+// RestoreStats inverts Snapshot: it rebuilds a live registry whose
+// counters, gauges and histograms carry exactly the snapshotted values,
+// so Restore(s.Snapshot()).Snapshot() == s.Snapshot(). Histogram buckets
+// recover their index from each bucket's lower bound (BucketIndex(Lo)
+// is the inverse of BucketBounds for every bucket the snapshotter
+// emits). The replay debugger uses this to rewind metric registries to
+// a checkpointed position.
+func (sn *Snapshot) RestoreStats() *Stats {
+	st := NewStats()
+	for _, c := range sn.Counters {
+		st.Counter(c.Name).Value = c.Value
+	}
+	for _, g := range sn.Gauges {
+		rg := st.Gauge(g.Name)
+		rg.Value = g.Value
+		rg.Max = g.Max
+	}
+	for _, h := range sn.Histograms {
+		rh := st.Histogram(h.Name)
+		rh.Count = h.Count
+		rh.Sum = h.Sum
+		rh.Min = h.Min
+		rh.Max = h.Max
+		for _, b := range h.Buckets {
+			rh.Buckets[BucketIndex(b.Lo)] = b.Count
+		}
+	}
+	return st
+}

@@ -1,0 +1,100 @@
+package telhttp
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// DebugSource is a live time-travel debugging session as the server
+// sees it: a JSON state document and a position-update feed. It is an
+// interface (instead of a concrete type from internal/debug) so the
+// simulation libraries keep their no-net/http property and telhttp
+// stays importable from anywhere.
+type DebugSource interface {
+	// DebugJSON renders the session state (position, clocks,
+	// divergence) as a JSON document.
+	DebugJSON() []byte
+	// DebugSubscribe registers a position-update subscriber with the
+	// given buffer size; cancel unregisters it.
+	DebugSubscribe(buf int) (<-chan []byte, func())
+}
+
+// SetDebug attaches a debugging session to the server:
+//
+//	/api/debug          JSON snapshot of the session state
+//	/api/debug/stream   the same, as an SSE feed of position updates
+//
+// Both endpoints return 404 until a source is attached; attaching nil
+// detaches. Handlers are registered at construction, so SetDebug can be
+// called (and re-called) while the server runs — `pacifier debug -http`
+// attaches the session after the server is up.
+func (s *Server) SetDebug(src DebugSource) {
+	s.mu.Lock()
+	s.debug = src
+	s.mu.Unlock()
+}
+
+func (s *Server) debugSource() DebugSource {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.debug
+}
+
+func (s *Server) handleDebug(w http.ResponseWriter, r *http.Request) {
+	src := s.debugSource()
+	if src == nil {
+		http.Error(w, "no debug session attached", http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(src.DebugJSON(), '\n'))
+}
+
+// handleDebugStream serves position updates as SSE `event: pos`
+// messages, starting with the current state so a late subscriber
+// renders immediately. Updates are published at command granularity
+// (one per step/seek/continue), so the feed follows a session without
+// drowning in per-chunk noise.
+func (s *Server) handleDebugStream(w http.ResponseWriter, r *http.Request) {
+	src := s.debugSource()
+	if src == nil {
+		http.Error(w, "no debug session attached", http.StatusNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	ch, cancel := src.DebugSubscribe(256)
+	defer cancel()
+
+	seq := 0
+	fmt.Fprintf(w, "id: %d\nevent: pos\ndata: %s\n\n", seq, src.DebugJSON())
+	flusher.Flush()
+
+	heartbeat := time.NewTicker(15 * time.Second)
+	defer heartbeat.Stop()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-heartbeat.C:
+			fmt.Fprint(w, ": heartbeat\n\n")
+			flusher.Flush()
+		case u, ok := <-ch:
+			if !ok {
+				return
+			}
+			seq++
+			fmt.Fprintf(w, "id: %d\nevent: pos\ndata: %s\n\n", seq, u)
+			flusher.Flush()
+		}
+	}
+}

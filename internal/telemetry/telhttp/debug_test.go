@@ -1,0 +1,118 @@
+package telhttp
+
+import (
+	"bufio"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// fakeDebug is a minimal DebugSource for handler tests.
+type fakeDebug struct {
+	mu    sync.Mutex
+	state string
+	subs  []chan []byte
+}
+
+func (f *fakeDebug) DebugJSON() []byte {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return []byte(f.state)
+}
+
+func (f *fakeDebug) DebugSubscribe(buf int) (<-chan []byte, func()) {
+	ch := make(chan []byte, buf)
+	f.mu.Lock()
+	f.subs = append(f.subs, ch)
+	f.mu.Unlock()
+	return ch, func() {}
+}
+
+func (f *fakeDebug) publish(b []byte) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, ch := range f.subs {
+		ch <- b
+	}
+}
+
+func TestDebugEndpointWithoutSession(t *testing.T) {
+	s := NewServer(nil, nil)
+	for _, path := range []string{"/api/debug", "/api/debug/stream"} {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != http.StatusNotFound {
+			t.Fatalf("%s without a session: status %d", path, rec.Code)
+		}
+	}
+}
+
+func TestDebugEndpointJSON(t *testing.T) {
+	s := NewServer(nil, nil)
+	src := &fakeDebug{state: `{"pos":3,"total":12}`}
+	s.SetDebug(src)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/api/debug", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), `"pos":3`) {
+		t.Fatalf("body %q", rec.Body.String())
+	}
+	// Detach returns the endpoint to 404.
+	s.SetDebug(nil)
+	rec = httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/api/debug", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("after detach: status %d", rec.Code)
+	}
+}
+
+func TestDebugStreamSSE(t *testing.T) {
+	s := NewServer(nil, nil)
+	src := &fakeDebug{state: `{"pos":0}`}
+	s.SetDebug(src)
+
+	srv := httptest.NewServer(s)
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/api/debug/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content-type %q", ct)
+	}
+
+	r := bufio.NewReader(resp.Body)
+	readEvent := func() string {
+		var lines []string
+		for {
+			line, err := r.ReadString('\n')
+			if err != nil {
+				t.Fatalf("stream read: %v (got %q)", err, lines)
+			}
+			line = strings.TrimRight(line, "\n")
+			if line == "" {
+				return strings.Join(lines, "\n")
+			}
+			lines = append(lines, line)
+		}
+	}
+
+	// Initial replay of the current state.
+	if ev := readEvent(); !strings.Contains(ev, `data: {"pos":0}`) {
+		t.Fatalf("initial event %q", ev)
+	}
+	// A published position update flows through.
+	src.publish([]byte(`{"pos":5}`))
+	if ev := readEvent(); !strings.Contains(ev, `data: {"pos":5}`) {
+		t.Fatalf("update event %q", ev)
+	}
+}

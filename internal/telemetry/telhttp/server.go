@@ -27,6 +27,8 @@ import (
 //	/readyz             readiness (503 until SetReady(true); default ready)
 //	/api/fleet          JSON snapshot of harness job states
 //	/api/fleet/stream   the same, as an SSE feed of state transitions
+//	/api/debug          JSON state of an attached debug session (404 until SetDebug)
+//	/api/debug/stream   the same, as an SSE feed of position updates
 //	/debug/pprof/       the standard pprof handlers
 //
 // It implements http.Handler, so it can be mounted under any mux, and
@@ -41,6 +43,7 @@ type Server struct {
 	mu         sync.Mutex
 	readyCheck func() bool
 	dist       func() *telemetry.DistSnapshot
+	debug      DebugSource
 }
 
 // NewServer builds a server over a registry (may be nil: /metrics then
@@ -54,6 +57,8 @@ func NewServer(reg *telemetry.Registry, fleet *telemetry.Fleet) *Server {
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/api/fleet", s.handleFleet)
 	s.mux.HandleFunc("/api/fleet/stream", s.handleFleetStream)
+	s.mux.HandleFunc("/api/debug", s.handleDebug)
+	s.mux.HandleFunc("/api/debug/stream", s.handleDebugStream)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

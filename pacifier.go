@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"pacifier/internal/core"
+	"pacifier/internal/debug"
 	"pacifier/internal/obs"
 	"pacifier/internal/prof"
 	"pacifier/internal/record"
@@ -387,6 +388,39 @@ func (r *Run) ReplayLog(blob []byte, mode Mode, tr *Tracer) (*ReplayResult, erro
 // this run accumulate their stall histograms into the same registry,
 // so snapshot after the last replay of interest.
 func (r *Run) Metrics() *MetricsSnapshot { return r.inner.Stats.Snapshot() }
+
+// DebugSession is an interactive time-travel replay session: periodic
+// deterministic checkpoints, O(checkpoint-interval) seek to any
+// position, reverse stepping, breakpoints on chunks/SNs/addresses and
+// watchpoints on memory — the machinery behind `pacifier debug`.
+type DebugSession = debug.Session
+
+// DebugREPL is the deterministic command interpreter over a
+// DebugSession (interactive prompt and scripted CI mode).
+type DebugREPL = debug.REPL
+
+// DebugSession opens a time-travel debugging session over an encoded
+// log blob — or over this run's own recording of mode when blob is nil.
+// The blob may carry the compressed-log container. Durations, which the
+// wire format omits, are restored from this run's recording like
+// ReplayLog. interval is the checkpoint spacing in chunks (0 = 64).
+func (r *Run) DebugSession(blob []byte, mode Mode, interval int64) (*DebugSession, error) {
+	var log *relog.Log
+	if blob != nil {
+		raw, err := maybeDecompress(blob)
+		if err != nil {
+			return nil, err
+		}
+		log, err = relog.DecodeLog(raw)
+		if err != nil {
+			return nil, err
+		}
+		if err := relog.Validate(log); err != nil {
+			return nil, err
+		}
+	}
+	return core.NewDebugSession(r.inner, log, mode, interval)
+}
 
 // CycleReport is the decoded per-core, per-layer cycle attribution of a
 // profiled run (see Options.ProfileCycles and internal/prof).
